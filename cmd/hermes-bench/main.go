@@ -1,0 +1,75 @@
+// Command hermes-bench regenerates the paper's tables and figures against
+// the simulated stack. Run a single experiment with -exp, or everything:
+//
+//	hermes-bench -exp table3
+//	hermes-bench -exp all -seed 7
+//
+// Output is plain text, one paper-style table or series per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hermes/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1..table5, fig2..fig15, figA5, walkthrough, all, list)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 16, "workers per LB device")
+		window  = flag.Duration("window", time.Second, "measurement window (virtual time)")
+		scale   = flag.Float64("scale", 0.5, "workload rate scale")
+		tenants = flag.Int("tenants", 8, "tenant ports per LB")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	opts.Seed = *seed
+	opts.Workers = *workers
+	opts.Window = *window
+	opts.RateScale = *scale
+	opts.Tenants = *tenants
+
+	experiments := bench.Experiments()
+	if *exp == "list" {
+		names := make([]string, 0, len(experiments))
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	run := func(name string) {
+		e, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out := e.Run(opts)
+		fmt.Printf("### %s — %s (wall %.1fs)\n%s\n", name, e.Desc, time.Since(start).Seconds(), out)
+	}
+	if *exp == "all" {
+		names := make([]string, 0, len(experiments))
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			run(n)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}

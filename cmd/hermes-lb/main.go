@@ -1,0 +1,350 @@
+// Command hermes-lb is a working HTTP/1.1 reverse proxy over real TCP whose
+// worker scheduling runs the Hermes control loop: goroutine workers publish
+// status to the lock-free Worker Status Table, every worker runs Algorithm 1
+// at the end of its loop, and the acceptor — standing in for the kernel's
+// reuseport eBPF program, which portable Go cannot attach — picks a worker
+// for each accepted connection from the live selection bitmap.
+//
+//	hermes-lb -listen :8080 -backends 127.0.0.1:9001,127.0.0.1:9002
+//	hermes-lb -demo            # self-contained: spins up backends + client load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/httpx"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8080", "address to listen on")
+		backends = flag.String("backends", "", "comma-separated backend addresses")
+		workers  = flag.Int("workers", 4, "worker goroutines (1-64)")
+		admin    = flag.String("admin", "", "admin address serving the policy control API (GET/PUT /policy, GET /status)")
+		demo     = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
+		demoReqs = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
+	)
+	flag.Parse()
+
+	if *demo {
+		runDemo(*workers, *demoReqs)
+		return
+	}
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "hermes-lb: -backends required (or use -demo)")
+		os.Exit(2)
+	}
+	lb, err := newProxy(*listen, strings.Split(*backends, ","), *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+		os.Exit(1)
+	}
+	if *admin != "" {
+		go func() {
+			fmt.Printf("hermes-lb: policy API on %s\n", *admin)
+			if err := http.ListenAndServe(*admin, core.PolicyHandler(lb.ctl)); err != nil {
+				fmt.Fprintln(os.Stderr, "hermes-lb: admin:", err)
+			}
+		}()
+	}
+	fmt.Printf("hermes-lb: %d workers proxying %s -> %s\n", *workers, lb.addr(), *backends)
+	lb.serveForever()
+}
+
+// proxy is the real-socket LB.
+type proxy struct {
+	ln       net.Listener
+	backends []string
+	ctl      *core.Controller
+	workers  []*pworker
+	rrSeq    atomic.Uint32
+	hashSeq  atomic.Uint32
+
+	// Served counts proxied requests; Errors upstream failures.
+	Served atomic.Uint64
+	Errors atomic.Uint64
+}
+
+type pworker struct {
+	id    int
+	p     *proxy
+	hook  *core.WorkerHook
+	queue chan net.Conn
+	prevQ int // last queue depth folded into the busy metric
+	// Handled counts requests this worker proxied.
+	Handled atomic.Uint64
+	// Delay injects extra latency per request (demo poisoning).
+	Delay atomic.Int64
+}
+
+func newProxy(listen string, backends []string, workers int) (*proxy, error) {
+	ctl, err := core.NewController(workers, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy{ln: ln, backends: backends, ctl: ctl}
+	for i := 0; i < workers; i++ {
+		w := &pworker{id: i, p: p, hook: ctl.NewWorkerHook(i), queue: make(chan net.Conn, 512)}
+		w.hook.LoopEnter(time.Now().UnixNano())
+		p.workers = append(p.workers, w)
+		go w.run()
+	}
+	p.workers[0].hook.ScheduleAndSync(time.Now().UnixNano())
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *proxy) addr() string { return p.ln.Addr().String() }
+
+func (p *proxy) serveForever() { select {} }
+
+func (p *proxy) close() { p.ln.Close() }
+
+// acceptLoop is the kernel-dispatch stand-in: scaled-hash selection over the
+// live bitmap, hash fallback below MinWorkers (Algorithm 2).
+func (p *proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			for _, w := range p.workers {
+				close(w.queue)
+			}
+			return
+		}
+		bitmap, _ := p.ctl.SelMap().Lookup(0)
+		h := p.hashSeq.Add(2654435761)
+		wi, ok := core.NativeSelect(bitmap, h, p.ctl.Config().MinWorkers)
+		if !ok {
+			wi = int(h) % len(p.workers)
+			if wi < 0 {
+				wi = -wi
+			}
+		}
+		p.workers[wi].queue <- conn
+	}
+}
+
+func (w *pworker) run() {
+	buf := make([]byte, 64<<10)
+	for conn := range w.queue {
+		now := time.Now().UnixNano()
+		w.hook.LoopEnter(now)
+		// Fold the channel backlog into the pending-event metric: queued
+		// connections are this worker's kernel-side accept queue.
+		q := len(w.queue) + 1
+		w.hook.EventsFetched(q - w.prevQ)
+		w.prevQ = q - 1
+		w.hook.ConnOpened()
+		w.serve(conn, buf)
+		w.hook.ConnClosed()
+		w.hook.EventHandled()
+		w.hook.ScheduleAndSync(time.Now().UnixNano())
+	}
+}
+
+func (w *pworker) serve(conn net.Conn, buf []byte) {
+	defer conn.Close()
+	pending := 0
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, err := conn.Read(buf[pending:])
+		if err != nil {
+			return
+		}
+		pending += n
+		for {
+			req, consumed, perr := httpx.ParseRequest(buf[:pending])
+			if perr == httpx.ErrIncomplete {
+				break
+			}
+			if perr != nil {
+				w.reply(conn, &httpx.Response{Status: 400})
+				return
+			}
+			copy(buf, buf[consumed:pending])
+			pending -= consumed
+
+			w.hook.EventsFetched(1)
+			if d := w.Delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			resp := w.forward(req)
+			w.hook.EventHandled()
+			w.Handled.Add(1)
+			if _, err := conn.Write(resp.Append(nil)); err != nil {
+				return
+			}
+			if !req.WantsKeepAlive() {
+				return
+			}
+		}
+		w.hook.LoopEnter(time.Now().UnixNano())
+		w.hook.ScheduleAndSync(time.Now().UnixNano())
+	}
+}
+
+// forward proxies one request to a round-robin backend.
+func (w *pworker) forward(req *httpx.Request) *httpx.Response {
+	backend := w.p.backends[int(w.p.rrSeq.Add(1))%len(w.p.backends)]
+	up, err := net.DialTimeout("tcp", backend, 2*time.Second)
+	if err != nil {
+		w.p.Errors.Add(1)
+		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
+	}
+	defer up.Close()
+
+	fwd := *req
+	fwd.Headers = append(append([]httpx.Header(nil), req.Headers...),
+		httpx.Header{Name: "X-Forwarded-By", Value: fmt.Sprintf("hermes-lb/w%d", w.id)},
+		httpx.Header{Name: "Connection", Value: "close"},
+	)
+	if _, err := up.Write(fwd.Append(nil)); err != nil {
+		w.p.Errors.Add(1)
+		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
+	}
+	_ = up.SetReadDeadline(time.Now().Add(5 * time.Second))
+	data, err := io.ReadAll(up)
+	if err != nil && len(data) == 0 {
+		w.p.Errors.Add(1)
+		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
+	}
+	resp, _, perr := httpx.ParseResponse(data)
+	if perr != nil {
+		w.p.Errors.Add(1)
+		return &httpx.Response{Status: 502, Body: []byte(perr.Error())}
+	}
+	w.p.Served.Add(1)
+	return resp
+}
+
+func (w *pworker) reply(conn net.Conn, resp *httpx.Response) {
+	_, _ = conn.Write(resp.Append(nil))
+}
+
+// runDemo spins up two trivial backends, the proxy, and a client fleet, with
+// one worker poisoned halfway through to show the bitmap steering around it.
+func runDemo(workers, requests int) {
+	backendAddrs := make([]string, 2)
+	for i := range backendAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		backendAddrs[i] = ln.Addr().String()
+		id := i
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					buf := make([]byte, 32<<10)
+					n, _ := c.Read(buf)
+					if _, _, err := httpx.ParseRequest(buf[:n]); err != nil {
+						return
+					}
+					resp := httpx.Response{Status: 200, Body: []byte(fmt.Sprintf("hello from backend %d", id))}
+					_, _ = c.Write(resp.Append(nil))
+				}(c)
+			}
+		}()
+	}
+
+	p, err := newProxy("127.0.0.1:0", backendAddrs, workers)
+	if err != nil {
+		panic(err)
+	}
+	defer p.close()
+	fmt.Printf("demo: %d workers, proxy %s, backends %v\n", workers, p.addr(), backendAddrs)
+
+	// Steady closed-loop load: a fixed client pool keeps the proxy busy so
+	// the poisoned worker's backlog and stale loop timestamp are visible to
+	// the schedulers (wave-style load would let everyone look idle between
+	// waves and defeat the feedback loop).
+	const clientPool = 24
+	var wg sync.WaitGroup
+	var ok, bad, issued atomic.Uint64
+	poisonAt := uint64(requests / 2)
+	for c := 0; c < clientPool; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := issued.Add(1)
+				if i > uint64(requests) {
+					return
+				}
+				if i == poisonAt {
+					p.workers[workers-1].Delay.Store(int64(25 * time.Millisecond))
+					fmt.Printf("poisoning worker %d at request %d\n", workers-1, i)
+				}
+				if err := demoRequest(p.addr(), int(i)); err != nil {
+					bad.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("\nrequests: %d ok, %d failed; upstream errors: %d\n", ok.Load(), bad.Load(), p.Errors.Load())
+	fmt.Printf("%-8s %-10s\n", "worker", "handled")
+	for i, w := range p.workers {
+		note := ""
+		if i == workers-1 {
+			note = "  <- poisoned after halfway"
+		}
+		fmt.Printf("w%-7d %-10d%s\n", i, w.Handled.Load(), note)
+	}
+	st := p.ctl.Stats()
+	fmt.Printf("scheduler passes: %d, avg workers selected: %.1f\n", st.ScheduleCalls, st.AvgPassed)
+}
+
+func demoRequest(addr string, i int) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := httpx.Request{
+		Method: "GET",
+		Target: fmt.Sprintf("/demo/%d", i),
+		Headers: []httpx.Header{
+			{Name: "Host", Value: "demo"},
+			{Name: "Connection", Value: "close"},
+		},
+	}
+	if _, err := conn.Write(req.Append(nil)); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	data, err := io.ReadAll(conn)
+	if err != nil && len(data) == 0 {
+		return err
+	}
+	resp, _, perr := httpx.ParseResponse(data)
+	if perr != nil {
+		return perr
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("status %d", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Command hermes-trace generates, inspects, and replays workload traces —
+// the methodology of §6.2 ("we collected and replayed traffic... at 2 to 3
+// times the original rate"), over this repo's simulated LB stack.
+//
+//	hermes-trace gen -case 2 -duration 500ms -out case2.trace
+//	hermes-trace info case2.trace
+//	hermes-trace replay -mode hermes -rate 3 case2.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"hermes/internal/l7lb"
+	"hermes/internal/sim"
+	"hermes/internal/stats"
+	"hermes/internal/trace"
+	"hermes/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hermes-trace gen    -case N -duration D -seed S -scale F -out FILE
+  hermes-trace info   FILE
+  hermes-trace replay -mode M -rate R -workers W -seed S FILE`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hermes-trace:", err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	caseN := fs.Int("case", 1, "traffic case 1-4 (Table 3)")
+	duration := fs.Duration("duration", 500*time.Millisecond, "trace window")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	scale := fs.Float64("scale", 0.5, "connection-rate scale")
+	out := fs.String("out", "", "output file (default: caseN.trace)")
+	tenants := fs.Int("tenants", 8, "tenant ports")
+	_ = fs.Parse(args)
+
+	if *caseN < 1 || *caseN > 4 {
+		fatal(fmt.Errorf("case must be 1-4, got %d", *caseN))
+	}
+	ports := make([]uint16, *tenants)
+	for i := range ports {
+		ports[i] = uint16(8080 + i)
+	}
+	spec := workload.Cases(ports)[*caseN-1].Scale(*scale)
+	tr, err := trace.Sample(spec, *duration, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("case%d.trace", *caseN)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d conns, %d requests, %d bytes\n",
+		path, len(tr.Conns), tr.Requests(), n)
+}
+
+func readTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func cmdInfo(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	tr := readTrace(args[0])
+	var costs, sizes, perConn stats.Sample
+	ports := map[uint16]int{}
+	for i := range tr.Conns {
+		c := &tr.Conns[i]
+		ports[c.Port]++
+		perConn.Add(float64(len(c.Requests)))
+		for _, r := range c.Requests {
+			costs.Add(float64(r.CostNS) / 1e6)
+			sizes.Add(float64(r.Size))
+		}
+	}
+	fmt.Printf("trace %q: window %v, %d conns, %d requests across %d ports\n",
+		tr.Name, time.Duration(tr.DurationNS), len(tr.Conns), tr.Requests(), len(ports))
+	fmt.Printf("requests/conn: P50 %.0f  P99 %.0f\n", perConn.Percentile(50), perConn.Percentile(99))
+	fmt.Printf("cost (ms):     P50 %s  P90 %s  P99 %s\n",
+		stats.FormatMS(costs.Percentile(50)), stats.FormatMS(costs.Percentile(90)), stats.FormatMS(costs.Percentile(99)))
+	fmt.Printf("size (B):      P50 %.0f  P90 %.0f  P99 %.0f\n",
+		sizes.Percentile(50), sizes.Percentile(90), sizes.Percentile(99))
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	modeName := fs.String("mode", "hermes", "exclusive|exclusive-rr|herd|accept-mutex|reuseport|hermes|hermes-native|dispatcher")
+	rate := fs.Float64("rate", 1, "replay speed multiplier")
+	workers := fs.Int("workers", 16, "LB workers")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := readTrace(fs.Arg(0))
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	ports := map[uint16]bool{}
+	for i := range tr.Conns {
+		ports[tr.Conns[i].Port] = true
+	}
+	var portList []uint16
+	for p := uint16(0); portList == nil || len(portList) < len(ports); p++ {
+		if ports[p] {
+			portList = append(portList, p)
+		}
+		if p == 65535 {
+			break
+		}
+	}
+
+	eng := sim.NewEngine(*seed)
+	cfg := l7lb.DefaultConfig(mode)
+	cfg.Workers = *workers
+	cfg.Ports = portList
+	lb, err := l7lb.New(eng, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	lb.Start()
+	scheduled := tr.Replay(lb, *rate)
+	window := time.Duration(float64(tr.DurationNS) / *rate)
+	eng.RunUntil(int64(window))
+	inWindow := lb.Completed
+	eng.RunUntil(int64(window) + int64(5*time.Second))
+
+	fmt.Printf("replayed %q at %.1fx under %s: %d/%d requests completed\n",
+		tr.Name, *rate, mode, lb.Completed, scheduled)
+	fmt.Printf("latency: avg %s ms  P99 %s ms; throughput %.1f kRPS\n",
+		stats.FormatMS(lb.Latency.Mean()), stats.FormatMS(lb.Latency.Percentile(99)),
+		float64(inWindow)/window.Seconds()/1000)
+	fmt.Printf("per-worker conns at end: %v\n", lb.WorkerConnCounts())
+}
+
+func parseMode(s string) (l7lb.Mode, error) {
+	for _, m := range []l7lb.Mode{
+		l7lb.ModeExclusive, l7lb.ModeExclusiveRR, l7lb.ModeHerd, l7lb.ModeAcceptMutex,
+		l7lb.ModeReuseport, l7lb.ModeHermes, l7lb.ModeHermesNative, l7lb.ModeDispatcher,
+	} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}

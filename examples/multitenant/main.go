@@ -1,0 +1,72 @@
+// Multitenant: one LB serving 64 tenant ports with the heavily skewed
+// tenant shares of §7 (top tenants carry ~40/28/22% of traffic). Shows how
+// Hermes's two-stage filtering keeps per-worker load flat even though a
+// handful of tenants dominate, while epoll-exclusive concentrates.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/l7lb"
+	"hermes/internal/sim"
+	"hermes/internal/stats"
+	"hermes/internal/workload"
+)
+
+func main() {
+	const (
+		seed    = 7
+		workers = 16
+		tenants = 64
+		window  = time.Second
+	)
+	ports := make([]uint16, tenants)
+	for i := range ports {
+		ports[i] = uint16(9000 + i)
+	}
+	// Zipf tenant shares: the head tenant alone carries ~25% of traffic.
+	weights := workload.ZipfWeights(tenants, 1.3)
+
+	for _, mode := range []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeHermes} {
+		eng := sim.NewEngine(seed)
+		cfg := l7lb.DefaultConfig(mode)
+		cfg.Workers = workers
+		cfg.Ports = ports
+		cfg.RegisteredPorts = 2 * tenants
+		lb, err := l7lb.New(eng, cfg)
+		if err != nil {
+			panic(err)
+		}
+		lb.Start()
+
+		spec := workload.Case3(ports).Scale(0.5)
+		spec.PortWeights = weights
+		gen, err := workload.NewGenerator(lb, spec)
+		if err != nil {
+			panic(err)
+		}
+		gen.Run(window)
+		eng.RunUntil(int64(window + 2*time.Second))
+
+		now := eng.Now()
+		utils := make([]float64, workers)
+		for i, w := range lb.Workers {
+			utils[i] = float64(w.BusyNS(now)) / float64(now)
+		}
+		mean, sd := stats.MeanStddev(utils)
+
+		fmt.Printf("== %s ==\n", mode)
+		fmt.Printf("requests completed: %d (P99 %.3f ms)\n",
+			lb.Completed, lb.Latency.Percentile(99))
+		fmt.Printf("per-worker CPU util: mean %.1f%%, stddev %.2f%%\n", mean*100, sd*100)
+		fmt.Printf("per-worker conns at end: %v\n", lb.WorkerConnCounts())
+		top := []uint64{gen.PortConns[ports[0]], gen.PortConns[ports[1]], gen.PortConns[ports[2]]}
+		fmt.Printf("top-3 tenant conn shares: %v of %d total\n\n", top, gen.ConnsAttempted)
+	}
+	fmt.Println("Tenant skew concentrates load under exclusive wakeup; Hermes's")
+	fmt.Println("status-driven dispatch spreads it regardless of which ports are hot")
+	fmt.Println("(§7: static per-port worker assignment cannot fix this).")
+}

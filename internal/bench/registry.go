@@ -1,0 +1,92 @@
+package bench
+
+// Experiment is one runnable table/figure reproduction.
+type Experiment struct {
+	// Desc is a one-line description shown in harness output.
+	Desc string
+	// Run executes the experiment and returns rendered text.
+	Run func(Options) string
+}
+
+// Experiments returns the registry of all reproducible artifacts, keyed by
+// the DESIGN.md experiment IDs.
+func Experiments() map[string]Experiment {
+	return map[string]Experiment{
+		"table1": {
+			Desc: "request size and processing-time distributions per region",
+			Run:  func(o Options) string { return RenderTable1(Table1(o)) },
+		},
+		"table2": {
+			Desc: "CPU imbalance within/across devices under epoll-exclusive",
+			Run:  func(o Options) string { return RenderTable2(Table2(o)) },
+		},
+		"table3": {
+			Desc: "4 traffic cases x {exclusive,reuseport,hermes} x {light,medium,heavy}",
+			Run:  func(o Options) string { return Table3(o).Render() },
+		},
+		"table4": {
+			Desc: "distribution of the 4 cases across regions",
+			Run:  Table4,
+		},
+		"table5": {
+			Desc: "CPU overhead of Hermes components (measured microbenchmarks)",
+			Run:  Table5,
+		},
+		"fig2": {
+			Desc: "connection concentration: exclusive vs rr vs reuseport vs hermes",
+			Run:  Fig2,
+		},
+		"fig3": {
+			Desc: "lag effect: long-lived connections then synchronized surge",
+			Run:  Fig3,
+		},
+		"fig45": {
+			Desc: "per-worker epoll_wait event/processing/blocking distributions",
+			Run:  Fig4and5,
+		},
+		"fig7": {
+			Desc: "NIC queues balanced by RSS while CPU cores stay uneven",
+			Run:  Fig7,
+		},
+		"fig11": {
+			Desc: "delayed probes per day before/after Hermes rollout",
+			Run:  Fig11,
+		},
+		"fig12": {
+			Desc: "normalized unit infra cost before/after Hermes",
+			Run:  Fig12,
+		},
+		"fig13": {
+			Desc: "stddev of CPU util and #conns across workers, 3 modes",
+			Run:  Fig13,
+		},
+		"fig14": {
+			Desc: "coarse-filter pass ratio and scheduler frequency vs load",
+			Run:  Fig14,
+		},
+		"fig15": {
+			Desc: "offset θ/Avg sweep: P99 and throughput",
+			Run:  Fig15,
+		},
+		"figA5": {
+			Desc: "CDF of forwarding rules per port",
+			Run:  FigA5,
+		},
+		"baselines": {
+			Desc: "every dispatch mode (incl. herd, accept-mutex, dispatcher, io_uring) on one workload",
+			Run:  Baselines,
+		},
+		"cluster": {
+			Desc: "§6.1 methodology: mixed-mode devices behind the Fig. 1 VXLAN/L4 pipeline",
+			Run:  ClusterMethodology,
+		},
+		"ablations": {
+			Desc: "design-choice ablations: filter order, placement, single-winner, theta, fallback",
+			Run:  Ablations,
+		},
+		"walkthrough": {
+			Desc: "appendix A3/A4 example: a,b1..b4 across 3 workers per mode",
+			Run:  Walkthrough,
+		},
+	}
+}

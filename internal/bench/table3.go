@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+
+	"hermes/internal/l7lb"
+	"hermes/internal/stats"
+	"hermes/internal/workload"
+)
+
+// Table3Cell is one (case, mode, level) measurement.
+type Table3Cell struct {
+	Mode   l7lb.Mode
+	AvgMS  float64
+	P99MS  float64
+	ThrK   float64
+	Failed uint64 // requests sent but never completed
+}
+
+// Table3Result holds the full grid: [case][level][mode].
+type Table3Result struct {
+	Cases  []string
+	Levels []string
+	Modes  []l7lb.Mode
+	Cells  [][][]Table3Cell
+}
+
+// LevelNames are the paper's replay levels.
+var LevelNames = []string{"light", "medium", "heavy"}
+
+// LevelScales are the replay-rate multipliers for the levels (§6.2: traffic
+// replayed at 2–3× the original rate).
+var LevelScales = []float64{1, 2, 3}
+
+// Table3 reproduces Table 3: the four traffic cases at three load levels
+// under epoll-exclusive, reuseport, and Hermes, reporting average latency,
+// P99 latency, and throughput.
+func Table3(opts Options) *Table3Result {
+	ports := tenantPorts(opts.Tenants)
+	cases := workload.Cases(ports)
+	res := &Table3Result{
+		Levels: LevelNames,
+		Modes:  Table3Modes,
+	}
+	for ci, cs := range cases {
+		res.Cases = append(res.Cases, cs.Name)
+		levels := make([][]Table3Cell, len(LevelScales))
+		for li, scale := range LevelScales {
+			spec := cs.Scale(opts.RateScale * scale)
+			cells := make([]Table3Cell, 0, len(res.Modes))
+			for mi, mode := range res.Modes {
+				run, err := Run(RunConfig{
+					Mode:    mode,
+					Workers: opts.Workers,
+					Seed:    opts.Seed + int64(ci*100+li*10+mi),
+					Window:  opts.Window,
+					Drain:   opts.Drain,
+					Specs:   []workload.Spec{spec},
+					Mutate: func(c *l7lb.Config) {
+						c.RegisteredPorts = opts.RegisteredPorts
+					},
+				})
+				if err != nil {
+					panic(fmt.Sprintf("bench: table3 %s %s %v: %v", cs.Name, LevelNames[li], mode, err))
+				}
+				cells = append(cells, Table3Cell{
+					Mode:   mode,
+					AvgMS:  run.AvgMS,
+					P99MS:  run.P99MS,
+					ThrK:   run.ThroughputKRPS,
+					Failed: run.RequestsSent - run.Completed,
+				})
+			}
+			levels[li] = cells
+		}
+		res.Cells = append(res.Cells, levels)
+	}
+	return res
+}
+
+// Marked reports whether a cell fails the paper's criterion against the
+// best cell of its (case, level): request time >50% above the best or
+// throughput >20% below the best.
+func Marked(cell Table3Cell, peers []Table3Cell) bool {
+	bestAvg, bestThr := cell.AvgMS, cell.ThrK
+	for _, p := range peers {
+		if p.AvgMS < bestAvg {
+			bestAvg = p.AvgMS
+		}
+		if p.ThrK > bestThr {
+			bestThr = p.ThrK
+		}
+	}
+	return cell.AvgMS > bestAvg*1.5 || cell.ThrK < bestThr*0.8
+}
+
+// Render formats the grid as the paper lays it out.
+func (r *Table3Result) Render() string {
+	out := ""
+	for ci, name := range r.Cases {
+		tb := stats.NewTable("Table 3 — "+name,
+			"mode", "L avg", "L p99", "L thr(k)", "M avg", "M p99", "M thr(k)", "H avg", "H p99", "H thr(k)")
+		for mi, mode := range r.Modes {
+			row := []any{mode.String()}
+			for li := range r.Levels {
+				c := r.Cells[ci][li][mi]
+				mark := ""
+				if Marked(c, r.Cells[ci][li]) {
+					mark = " (x)"
+				}
+				row = append(row,
+					stats.FormatMS(c.AvgMS)+mark,
+					stats.FormatMS(c.P99MS),
+					fmt.Sprintf("%.1f", c.ThrK),
+				)
+			}
+			tb.AddRow(row...)
+		}
+		out += tb.Render() + "\n"
+	}
+	return out
+}

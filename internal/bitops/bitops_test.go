@@ -1,0 +1,219 @@
+package bitops
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopCount64Known(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{0xffffffffffffffff, 64},
+		{0x8000000000000000, 1},
+		{0b11001, 3},
+		{0x5555555555555555, 32},
+		{0xaaaaaaaaaaaaaaaa, 32},
+		{0xf0f0f0f0f0f0f0f0, 32},
+	}
+	for _, c := range cases {
+		if got := PopCount64(c.v); got != c.want {
+			t.Errorf("PopCount64(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPopCount64MatchesStdlib(t *testing.T) {
+	f := func(v uint64) bool { return PopCount64(v) == bits.OnesCount64(v) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindNthSetBitKnown(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		n    int
+		want int
+	}{
+		{0b11001, 1, 0},
+		{0b11001, 2, 3},
+		{0b11001, 3, 4},
+		{0b11001, 4, -1},
+		{0, 1, -1},
+		{1, 1, 0},
+		{1 << 63, 1, 63},
+		{0xffffffffffffffff, 64, 63},
+		{0xffffffffffffffff, 1, 0},
+		{0xffffffffffffffff, 33, 32},
+		{0b1010, 1, 1},
+		{0b1010, 2, 3},
+	}
+	for _, c := range cases {
+		if got := FindNthSetBit(c.v, c.n); got != c.want {
+			t.Errorf("FindNthSetBit(%#b, %d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFindNthSetBitRejectsBadRank(t *testing.T) {
+	for _, n := range []int{0, -1, 65, 1 << 20} {
+		if got := FindNthSetBit(^uint64(0), n); got != -1 {
+			t.Errorf("FindNthSetBit(all-ones, %d) = %d, want -1", n, got)
+		}
+	}
+}
+
+// referenceNthSetBit is the obvious loop-based oracle.
+func referenceNthSetBit(v uint64, n int) int {
+	if n < 1 {
+		return -1
+	}
+	seen := 0
+	for i := 0; i < 64; i++ {
+		if v&(1<<uint(i)) != 0 {
+			seen++
+			if seen == n {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestFindNthSetBitMatchesReference(t *testing.T) {
+	f := func(v uint64, rank uint8) bool {
+		n := int(rank%66) - 1 // covers -1..64
+		return FindNthSetBit(v, n) == referenceNthSetBit(v, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selecting rank 1..popcount enumerates exactly the set bits in
+// ascending order.
+func TestFindNthSetBitEnumeratesSetBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		v := rng.Uint64()
+		pc := PopCount64(v)
+		prev := -1
+		for n := 1; n <= pc; n++ {
+			p := FindNthSetBit(v, n)
+			if p <= prev {
+				t.Fatalf("v=%#x rank %d: position %d not > previous %d", v, n, p, prev)
+			}
+			if v&(1<<uint(p)) == 0 {
+				t.Fatalf("v=%#x rank %d: position %d not set", v, n, p)
+			}
+			prev = p
+		}
+		if got := FindNthSetBit(v, pc+1); pc < 64 && got != -1 {
+			t.Fatalf("v=%#x rank beyond popcount returned %d", v, got)
+		}
+	}
+}
+
+func TestReciprocalScaleRange(t *testing.T) {
+	f := func(val, n uint32) bool {
+		if n == 0 {
+			return ReciprocalScale(val, 0) == 0
+		}
+		return ReciprocalScale(val, n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReciprocalScaleUniformity(t *testing.T) {
+	// For uniformly distributed hashes, buckets should be roughly equal.
+	const n = 8
+	const samples = 80000
+	rng := rand.New(rand.NewSource(7))
+	var counts [n]int
+	for i := 0; i < samples; i++ {
+		counts[ReciprocalScale(rng.Uint32(), n)]++
+	}
+	want := samples / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestBitmap64Basics(t *testing.T) {
+	var b Bitmap64
+	if b.Count() != 0 {
+		t.Fatal("zero bitmap should be empty")
+	}
+	b = b.Set(0).Set(5).Set(63)
+	if !b.Has(0) || !b.Has(5) || !b.Has(63) || b.Has(1) {
+		t.Fatalf("unexpected membership: %b", b)
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	if got := b.Nth(2); got != 5 {
+		t.Fatalf("Nth(2) = %d, want 5", got)
+	}
+	b = b.Clear(5)
+	if b.Has(5) || b.Count() != 2 {
+		t.Fatalf("Clear failed: %b", b)
+	}
+	// Out-of-range operations are no-ops.
+	if b.Set(64) != b || b.Set(-1) != b || b.Clear(64) != b || b.Clear(-1) != b {
+		t.Fatal("out-of-range Set/Clear must be no-ops")
+	}
+	if b.Has(64) || b.Has(-1) {
+		t.Fatal("out-of-range Has must be false")
+	}
+}
+
+func TestBitmap64BitsRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := Bitmap64(v)
+		return FromBits(b.Bits()...) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmap64BitsSortedUnique(t *testing.T) {
+	b := FromBits(9, 3, 3, 0, 62)
+	want := []int{0, 3, 9, 62}
+	got := b.Bits()
+	if len(got) != len(want) {
+		t.Fatalf("Bits() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bits() = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkPopCount64(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += PopCount64(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkFindNthSetBit(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		v := uint64(i)*0x9e3779b97f4a7c15 | 1
+		sink += FindNthSetBit(v, 1+i%8)
+	}
+	_ = sink
+}

@@ -1,0 +1,82 @@
+// Package core implements Hermes, the paper's contribution: a
+// userspace-directed I/O event notification framework built as a closed
+// control loop across three stages (§4.1):
+//
+//  1. each worker publishes {event-loop entry timestamp, pending events,
+//     accumulated connections} to a lock-free shared Worker Status Table
+//     (internal/shm);
+//  2. a scheduler embedded in every worker runs the cascading filter of
+//     Algorithm 1 at the end of each epoll event loop and synchronizes the
+//     surviving worker set — a 64-bit bitmap — to the kernel through an
+//     eBPF array map;
+//  3. a dispatch program attached at the SO_ATTACH_REUSEPORT_EBPF hook
+//     (Algorithm 2, emitted to simulated eBPF bytecode by this package)
+//     picks the final worker per incoming connection by scaled hashing over
+//     the bitmap, falling back to plain reuseport hashing when too few
+//     workers pass the coarse filter.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config carries Hermes's tuning knobs.
+type Config struct {
+	// HangThreshold is how long a worker may go without re-entering its
+	// event loop before the time filter marks it unavailable (Algorithm 1,
+	// FilterTime). The paper's workers time out epoll_wait at 5 ms, so a
+	// healthy worker republishes its timestamp at least that often.
+	HangThreshold time.Duration
+
+	// ThetaFrac is θ/Avg: the filter-baseline offset of Algorithm 1's
+	// FilterCount expressed as a fraction of the current average. Fig. 15
+	// finds θ/Avg = 0.5 optimal. Workers with metric ≤ Avg·(1+ThetaFrac)
+	// pass; the inclusive comparison keeps a uniformly loaded fleet fully
+	// selected even at θ = 0.
+	ThetaFrac float64
+
+	// MinWorkers is the kernel-side minimum number of coarse-filtered
+	// workers required before the dispatch program acts; below it, dispatch
+	// falls back to reuseport hashing (Algorithm 2 line 4: "if n > 1").
+	MinWorkers int
+
+	// EpollTimeout is the epoll_wait timeout, bounding how stale a blocked
+	// worker's published status can get (§5.3.2: 5 ms in production).
+	EpollTimeout time.Duration
+
+	// MaxEvents caps the epoll_wait batch size.
+	MaxEvents int
+}
+
+// DefaultConfig returns the production-like defaults used throughout the
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		HangThreshold: 12 * time.Millisecond,
+		ThetaFrac:     0.5,
+		MinWorkers:    2,
+		EpollTimeout:  5 * time.Millisecond,
+		MaxEvents:     64,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.HangThreshold <= 0 {
+		return fmt.Errorf("core: HangThreshold must be positive, got %v", c.HangThreshold)
+	}
+	if c.ThetaFrac < 0 {
+		return fmt.Errorf("core: ThetaFrac must be ≥ 0, got %v", c.ThetaFrac)
+	}
+	if c.MinWorkers < 1 {
+		return fmt.Errorf("core: MinWorkers must be ≥ 1, got %d", c.MinWorkers)
+	}
+	if c.EpollTimeout <= 0 {
+		return fmt.Errorf("core: EpollTimeout must be positive, got %v", c.EpollTimeout)
+	}
+	if c.MaxEvents < 1 {
+		return fmt.Errorf("core: MaxEvents must be ≥ 1, got %d", c.MaxEvents)
+	}
+	return nil
+}

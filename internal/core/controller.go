@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hermes/internal/ebpf"
+	"hermes/internal/kernel"
+	"hermes/internal/shm"
+)
+
+// Controller owns one worker group's Hermes state: the shared Worker Status
+// Table, the kernel-facing selection map, and the dispatch attachment. One
+// Controller serves up to 64 workers; larger fleets use GroupedController.
+type Controller struct {
+	cfg          atomic.Pointer[Config]
+	order        atomic.Int32
+	fallback     atomic.Bool // force reuseport fallback (publish empty bitmap)
+	singleWinner atomic.Bool // ablation: publish only the single best worker
+	wst          *shm.WST
+	sel          *ebpf.ArrayMap
+
+	// Scheduling statistics (atomic: in real-goroutine deployments every
+	// worker runs the scheduler concurrently).
+	scheduleCalls atomic.Uint64
+	syncs         atomic.Uint64
+	passedSum     atomic.Uint64
+	aliveSum      atomic.Uint64
+	emptySets     atomic.Uint64
+}
+
+// NewController creates Hermes state for n workers (1..64).
+func NewController(n int, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > shm.GroupSize {
+		return nil, fmt.Errorf("core: worker count %d outside 1..%d (use NewGroupedController)", n, shm.GroupSize)
+	}
+	c := &Controller{
+		wst: shm.NewWST(n),
+		sel: ebpf.NewArrayMap(1),
+	}
+	c.cfg.Store(&cfg)
+	return c, nil
+}
+
+// SetFilterOrder overrides the filter cascade (ablations, live policy).
+func (c *Controller) SetFilterOrder(o FilterOrder) { c.order.Store(int32(o)) }
+
+// FilterOrder returns the active cascade order.
+func (c *Controller) FilterOrder() FilterOrder { return FilterOrder(c.order.Load()) }
+
+// Config returns the controller's current configuration.
+func (c *Controller) Config() Config { return *c.cfg.Load() }
+
+// SetConfig replaces the scheduling policy at runtime — the dynamic policy
+// updates the paper's HTTP control interface performs (Appendix C). The
+// update is an atomic pointer swap: in-flight scheduling passes finish on
+// the old policy, subsequent passes use the new one. Note: MinWorkers is
+// compiled into the attached dispatch program; changing it here affects
+// future Attach calls only.
+func (c *Controller) SetConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c.cfg.Store(&cfg)
+	return nil
+}
+
+// SetForceFallback toggles reuseport-hash fallback: while set, schedulers
+// publish an empty bitmap so the kernel dispatches by plain hashing
+// (Appendix C: the control interface "supports fallbacks to reuseport").
+func (c *Controller) SetForceFallback(on bool) { c.fallback.Store(on) }
+
+// ForceFallback reports whether fallback mode is on.
+func (c *Controller) ForceFallback() bool { return c.fallback.Load() }
+
+// SetSingleWinner enables the single-winner ablation: instead of the
+// two-stage coarse/fine filtering, the scheduler publishes only the one
+// best worker. Because userspace updates far less often than connections
+// arrive, the kernel then funnels every new connection to that worker until
+// the next sync — the overload failure §5.3.2's two-stage design prevents.
+func (c *Controller) SetSingleWinner(on bool) { c.singleWinner.Store(on) }
+
+// WST exposes the worker status table (diagnostics and tests).
+func (c *Controller) WST() *shm.WST { return c.wst }
+
+// SelMap exposes the kernel-facing selection map (M_sel).
+func (c *Controller) SelMap() *ebpf.ArrayMap { return c.sel }
+
+// Workers returns the worker count.
+func (c *Controller) Workers() int { return c.wst.Workers() }
+
+// AttachEBPF builds the Algorithm 2 bytecode over this controller's
+// selection map and the group's sockets, verifies it, and installs it at the
+// group's SO_ATTACH_REUSEPORT_EBPF hook. Socket i must belong to worker i.
+func (c *Controller) AttachEBPF(g *kernel.ReuseportGroup) error {
+	if len(g.Sockets()) != c.Workers() {
+		return fmt.Errorf("core: group has %d sockets, controller has %d workers",
+			len(g.Sockets()), c.Workers())
+	}
+	sa, err := g.BuildSockArray()
+	if err != nil {
+		return err
+	}
+	prog, err := BuildDispatchProgram(c.sel, sa, c.Config().MinWorkers)
+	if err != nil {
+		return err
+	}
+	g.AttachProgram(prog)
+	return nil
+}
+
+// AttachNative installs the native-Go dispatch twin (the JIT-compiled
+// program's stand-in) on the group.
+func (c *Controller) AttachNative(g *kernel.ReuseportGroup) error {
+	if len(g.Sockets()) != c.Workers() {
+		return fmt.Errorf("core: group has %d sockets, controller has %d workers",
+			len(g.Sockets()), c.Workers())
+	}
+	socks := g.Sockets()
+	min := c.Config().MinWorkers
+	g.AttachNative(func(hash, _ uint32) (*kernel.Socket, bool) {
+		bitmap, _ := c.sel.Lookup(0)
+		w, ok := NativeSelect(bitmap, hash, min)
+		if !ok {
+			return nil, false
+		}
+		return socks[w], true
+	})
+	return nil
+}
+
+// NewWorkerHook returns worker id's instrumentation handle — the few lines
+// Hermes adds to the epoll event loop (Fig. 9).
+func (c *Controller) NewWorkerHook(id int) *WorkerHook {
+	return &WorkerHook{
+		c:   c,
+		w:   c.wst.Writer(id),
+		buf: make([]shm.Metrics, 0, c.Workers()),
+	}
+}
+
+// scheduleAndSync is the shared implementation behind every worker's
+// schedule_and_sync() call.
+func (c *Controller) scheduleAndSync(nowNS int64, buf []shm.Metrics) (ScheduleResult, []shm.Metrics) {
+	buf = c.wst.Snapshot(buf[:0])
+	var res ScheduleResult
+	switch {
+	case c.fallback.Load():
+		res = ScheduleResult{Total: len(buf)} // empty set → kernel hash fallback
+	case c.singleWinner.Load():
+		res = ScheduleSingleWinner(nowNS, buf, *c.cfg.Load())
+	default:
+		res = Schedule(nowNS, buf, *c.cfg.Load(), FilterOrder(c.order.Load()))
+	}
+
+	c.scheduleCalls.Add(1)
+	c.aliveSum.Add(uint64(res.Alive))
+	c.passedSum.Add(uint64(res.Passed))
+	if res.Passed == 0 {
+		c.emptySets.Add(1)
+	}
+
+	// Publish: shared-memory word for userspace observers, eBPF map for the
+	// kernel dispatcher. Both are single atomic stores; concurrent workers
+	// race benignly (last write wins with a complete bitmap, §5.3.2).
+	c.wst.StoreSelection(uint64(res.Bitmap))
+	if err := c.sel.Update(0, uint64(res.Bitmap)); err == nil {
+		c.syncs.Add(1)
+	}
+	return res, buf
+}
+
+// Stats is a snapshot of scheduling counters.
+type Stats struct {
+	ScheduleCalls uint64  // schedule_and_sync invocations
+	Syncs         uint64  // successful kernel map updates (syscalls)
+	AvgAlive      float64 // mean workers surviving the time filter
+	AvgPassed     float64 // mean workers passing the whole cascade
+	EmptySets     uint64  // passes that selected nobody (kernel fallback)
+}
+
+// Stats returns accumulated scheduling statistics.
+func (c *Controller) Stats() Stats {
+	calls := c.scheduleCalls.Load()
+	s := Stats{
+		ScheduleCalls: calls,
+		Syncs:         c.syncs.Load(),
+		EmptySets:     c.emptySets.Load(),
+	}
+	if calls > 0 {
+		s.AvgAlive = float64(c.aliveSum.Load()) / float64(calls)
+		s.AvgPassed = float64(c.passedSum.Load()) / float64(calls)
+	}
+	return s
+}
+
+// WorkerHook is one worker's view of Hermes: metric publication plus the
+// embedded scheduler. Methods map 1:1 onto the Fig. 9 instrumentation.
+// A hook is owned by a single worker and is not safe for concurrent use
+// (matching per-process ownership of WST partitions).
+type WorkerHook struct {
+	c   *Controller
+	w   shm.Writer
+	buf []shm.Metrics
+}
+
+// LoopEnter publishes the event-loop entry timestamp (shm_avail_update,
+// Fig. 9 line 12).
+func (h *WorkerHook) LoopEnter(nowNS int64) { h.w.SetLoopEnter(nowNS) }
+
+// EventsFetched adds the epoll_wait batch size to the pending-event count
+// (Fig. 9 line 14).
+func (h *WorkerHook) EventsFetched(n int) {
+	if n > 0 {
+		h.w.AddBusy(int64(n))
+	}
+}
+
+// EventHandled decrements the pending-event count (Fig. 9 line 18).
+func (h *WorkerHook) EventHandled() { h.w.AddBusy(-1) }
+
+// ConnOpened increments the accumulated-connection count (Fig. 9 line 25).
+func (h *WorkerHook) ConnOpened() { h.w.AddConn(1) }
+
+// ConnClosed decrements the accumulated-connection count (Fig. 9 line 37).
+func (h *WorkerHook) ConnClosed() { h.w.AddConn(-1) }
+
+// ScheduleAndSync runs Algorithm 1 over the whole table and synchronizes the
+// result to the kernel — the schedule_and_sync() call at the end of the
+// event loop (Fig. 9 line 20).
+func (h *WorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
+	res, buf := h.c.scheduleAndSync(nowNS, h.buf)
+	h.buf = buf
+	return res
+}
+
+// Metrics returns this worker's own published metrics (diagnostics).
+func (h *WorkerHook) Metrics() shm.Metrics { return h.w.Read() }

@@ -1,0 +1,723 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hermes/internal/bitops"
+	"hermes/internal/ebpf"
+	"hermes/internal/kernel"
+	"hermes/internal/shm"
+	"hermes/internal/sim"
+)
+
+func freshMetrics(n int, nowNS int64) []shm.Metrics {
+	ms := make([]shm.Metrics, n)
+	for i := range ms {
+		ms[i] = shm.Metrics{LoopEnterNS: nowNS, Busy: 0, Conn: 0}
+	}
+	return ms
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.HangThreshold = 0 },
+		func(c *Config) { c.ThetaFrac = -0.1 },
+		func(c *Config) { c.MinWorkers = 0 },
+		func(c *Config) { c.EpollTimeout = 0 },
+		func(c *Config) { c.MaxEvents = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestScheduleUniformLoadSelectsAll(t *testing.T) {
+	now := int64(time.Second)
+	ms := freshMetrics(8, now)
+	for i := range ms {
+		ms[i].Busy = 5
+		ms[i].Conn = 100
+	}
+	res := Schedule(now, ms, DefaultConfig(), OrderTimeConnEvent)
+	if res.Passed != 8 || res.Alive != 8 {
+		t.Fatalf("uniform load: passed=%d alive=%d, want 8,8", res.Passed, res.Alive)
+	}
+}
+
+func TestScheduleZeroMetricsSelectsAll(t *testing.T) {
+	// All-idle fleet with zero counters must not be filtered to nothing
+	// (inclusive comparison against Avg=0).
+	now := int64(time.Second)
+	res := Schedule(now, freshMetrics(4, now), DefaultConfig(), OrderTimeConnEvent)
+	if res.Passed != 4 {
+		t.Fatalf("zero metrics: passed=%d, want 4", res.Passed)
+	}
+}
+
+func TestScheduleFiltersHungWorker(t *testing.T) {
+	cfg := DefaultConfig()
+	now := int64(time.Second)
+	ms := freshMetrics(4, now)
+	ms[2].LoopEnterNS = now - int64(cfg.HangThreshold) - 1 // hung
+	res := Schedule(now, ms, cfg, OrderTimeConnEvent)
+	if res.Alive != 3 {
+		t.Fatalf("alive=%d, want 3", res.Alive)
+	}
+	if res.Bitmap.Has(2) {
+		t.Fatal("hung worker selected")
+	}
+	if res.Passed != 3 {
+		t.Fatalf("passed=%d, want 3", res.Passed)
+	}
+}
+
+func TestScheduleAllHungReturnsEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	now := int64(time.Hour)
+	ms := freshMetrics(4, now-int64(cfg.HangThreshold)*2)
+	res := Schedule(now, ms, cfg, OrderTimeConnEvent)
+	if res.Passed != 0 || res.Bitmap != 0 || res.Alive != 0 {
+		t.Fatalf("all-hung: %+v", res)
+	}
+}
+
+func TestScheduleFiltersConnHeavyWorker(t *testing.T) {
+	cfg := DefaultConfig() // θ/Avg = 0.5
+	now := int64(time.Second)
+	ms := freshMetrics(4, now)
+	ms[0].Conn = 100
+	ms[1].Conn = 100
+	ms[2].Conn = 100
+	ms[3].Conn = 1000 // avg=325, limit=487.5 → filtered
+	res := Schedule(now, ms, cfg, OrderTimeConnEvent)
+	if res.Bitmap.Has(3) {
+		t.Fatal("conn-heavy worker passed the filter")
+	}
+	if res.Passed != 3 {
+		t.Fatalf("passed=%d, want 3", res.Passed)
+	}
+}
+
+func TestScheduleFiltersBusyWorker(t *testing.T) {
+	cfg := DefaultConfig()
+	now := int64(time.Second)
+	ms := freshMetrics(4, now)
+	ms[1].Busy = 500 // others 0 → avg=125, limit=187.5 → filtered
+	res := Schedule(now, ms, cfg, OrderTimeConnEvent)
+	if res.Bitmap.Has(1) || res.Passed != 3 {
+		t.Fatalf("busy worker not filtered: %+v", res)
+	}
+}
+
+func TestScheduleThetaWidensSelection(t *testing.T) {
+	now := int64(time.Second)
+	ms := freshMetrics(4, now)
+	ms[0].Conn = 10
+	ms[1].Conn = 12
+	ms[2].Conn = 14
+	ms[3].Conn = 20 // avg=14
+	tight := DefaultConfig()
+	tight.ThetaFrac = 0
+	loose := DefaultConfig()
+	loose.ThetaFrac = 0.5
+	resTight := Schedule(now, ms, tight, OrderTimeConnEvent)
+	resLoose := Schedule(now, ms, loose, OrderTimeConnEvent)
+	if resTight.Passed >= resLoose.Passed {
+		t.Fatalf("θ=0 passed %d, θ=0.5 passed %d; offset should widen selection",
+			resTight.Passed, resLoose.Passed)
+	}
+	if resLoose.Passed != 4 { // limit = 21
+		t.Fatalf("loose passed = %d, want 4", resLoose.Passed)
+	}
+}
+
+func TestScheduleFilterOrderMatters(t *testing.T) {
+	// A worker heavy in conns but idle in events, and one the reverse.
+	// TimeOnly keeps both; the cascades drop their respective outliers.
+	now := int64(time.Second)
+	ms := freshMetrics(4, now)
+	ms[0].Conn = 1000
+	ms[1].Busy = 1000
+	resTimeOnly := Schedule(now, ms, DefaultConfig(), OrderTimeOnly)
+	resCascade := Schedule(now, ms, DefaultConfig(), OrderTimeConnEvent)
+	if resTimeOnly.Passed != 4 {
+		t.Fatalf("time-only passed %d", resTimeOnly.Passed)
+	}
+	if resCascade.Bitmap.Has(0) || resCascade.Bitmap.Has(1) {
+		t.Fatalf("cascade kept an outlier: %b", resCascade.Bitmap)
+	}
+}
+
+func TestScheduleDegenerateInputs(t *testing.T) {
+	cfg := DefaultConfig()
+	if res := Schedule(0, nil, cfg, OrderTimeConnEvent); res.Passed != 0 {
+		t.Fatal("nil metrics")
+	}
+	if res := Schedule(0, make([]shm.Metrics, 65), cfg, OrderTimeConnEvent); res.Passed != 0 {
+		t.Fatal("oversized table must be rejected")
+	}
+}
+
+// Property: selection is always a subset of time-alive workers, and if any
+// worker is alive at least one is selected.
+func TestSchedulePropertySubsetAndNonEmpty(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(64)
+		now := int64(time.Hour)
+		ms := make([]shm.Metrics, n)
+		anyAlive := false
+		for i := range ms {
+			age := int64(rng.Intn(int(2 * cfg.HangThreshold)))
+			ms[i] = shm.Metrics{
+				LoopEnterNS: now - age,
+				Busy:        int64(rng.Intn(2000)),
+				Conn:        int64(rng.Intn(20000)),
+			}
+			if age < int64(cfg.HangThreshold) {
+				anyAlive = true
+			}
+		}
+		res := Schedule(now, ms, cfg, OrderTimeConnEvent)
+		for i := 0; i < n; i++ {
+			if res.Bitmap.Has(i) && now-ms[i].LoopEnterNS >= int64(cfg.HangThreshold) {
+				t.Fatalf("trial %d: hung worker %d selected", trial, i)
+			}
+		}
+		if anyAlive && res.Passed == 0 {
+			t.Fatalf("trial %d: alive workers but empty selection", trial)
+		}
+		if !anyAlive && res.Passed != 0 {
+			t.Fatalf("trial %d: selection from fully hung fleet", trial)
+		}
+		if res.Passed != res.Bitmap.Count() {
+			t.Fatalf("trial %d: passed %d != bitmap count %d", trial, res.Passed, res.Bitmap.Count())
+		}
+	}
+}
+
+func TestNativeSelectFallbackBelowMin(t *testing.T) {
+	if _, ok := NativeSelect(0b1, 123, 2); ok {
+		t.Fatal("single worker must trigger fallback with MinWorkers=2")
+	}
+	if _, ok := NativeSelect(0, 123, 1); ok {
+		t.Fatal("empty bitmap selected a worker")
+	}
+	w, ok := NativeSelect(0b1, 123, 1)
+	if !ok || w != 0 {
+		t.Fatalf("MinWorkers=1 single bitmap: %d, %v", w, ok)
+	}
+}
+
+func TestNativeSelectAlwaysPicksSetBit(t *testing.T) {
+	f := func(bitmap uint64, hash uint32) bool {
+		w, ok := NativeSelect(bitmap, hash, 1)
+		if bitops.PopCount64(bitmap) == 0 {
+			return !ok
+		}
+		return ok && bitmap&(1<<uint(w)) != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeSelectBalanced(t *testing.T) {
+	bitmap := uint64(0b10110101) // workers 0,2,4,5,7
+	counts := map[int]int{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		w, ok := NativeSelect(bitmap, rng.Uint32(), 2)
+		if !ok {
+			t.Fatal("unexpected fallback")
+		}
+		counts[w]++
+	}
+	for _, w := range []int{0, 2, 4, 5, 7} {
+		if counts[w] < 8000 || counts[w] > 12000 {
+			t.Errorf("worker %d got %d of 50000, uneven", w, counts[w])
+		}
+	}
+	if len(counts) != 5 {
+		t.Fatalf("selected worker set %v", counts)
+	}
+}
+
+// The assembled Algorithm 2 bytecode must agree with NativeSelect on every
+// (bitmap, hash) — the VM is the spec, the native path the JIT stand-in.
+func TestDispatchProgramMatchesNative(t *testing.T) {
+	const n = 64
+	sel := ebpf.NewArrayMap(1)
+	sa := ebpf.NewSockArray(n)
+	type fakeSock struct{ id int }
+	socks := make([]*fakeSock, n)
+	for i := range socks {
+		socks[i] = &fakeSock{i}
+		if err := sa.Put(uint32(i), socks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, minWorkers := range []int{1, 2, 5} {
+		prog, err := BuildDispatchProgram(sel, sa, minWorkers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(minWorkers)))
+		for trial := 0; trial < 4000; trial++ {
+			bitmap := rng.Uint64()
+			switch trial % 8 {
+			case 0:
+				bitmap = 0
+			case 1:
+				bitmap = 1 << uint(rng.Intn(64))
+			case 2:
+				bitmap &= 0xff
+			}
+			hash := rng.Uint32()
+			if err := sel.Update(0, bitmap); err != nil {
+				t.Fatal(err)
+			}
+			ctx := &ebpf.ReuseportCtx{Hash: hash}
+			r0, err := prog.Run(ctx)
+			if err != nil {
+				t.Fatalf("min=%d bitmap=%#x hash=%#x: %v", minWorkers, bitmap, hash, err)
+			}
+			nw, nok := NativeSelect(bitmap, hash, minWorkers)
+			if nok != (r0 == 0) {
+				t.Fatalf("min=%d bitmap=%#x hash=%#x: vm r0=%d native ok=%v",
+					minWorkers, bitmap, hash, r0, nok)
+			}
+			if nok && ctx.SelectedIndex != nw {
+				t.Fatalf("min=%d bitmap=%#x hash=%#x: vm picked %d, native %d",
+					minWorkers, bitmap, hash, ctx.SelectedIndex, nw)
+			}
+		}
+	}
+}
+
+func TestGroupedDispatchProgramMatchesNative(t *testing.T) {
+	const groups = 3
+	const span = 4
+	type fakeSock struct{ g, s int }
+	gm := make([]GroupMaps, groups)
+	bitmaps := make([]uint64, groups)
+	for gi := 0; gi < groups; gi++ {
+		sel := ebpf.NewArrayMap(1)
+		sa := ebpf.NewSockArray(span)
+		for s := 0; s < span; s++ {
+			if err := sa.Put(uint32(s), &fakeSock{gi, s}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gm[gi] = GroupMaps{Sel: sel, Socks: sa}
+	}
+	for _, key := range []GroupKey{GroupByTupleHash, GroupByLocalityHash} {
+		prog, err := BuildGroupedDispatchProgram(gm, 2, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for trial := 0; trial < 3000; trial++ {
+			for gi := range bitmaps {
+				bitmaps[gi] = rng.Uint64() & 0xf // span=4
+				if trial%5 == 0 {
+					bitmaps[gi] = uint64(trial % 3)
+				}
+				if err := gm[gi].Sel.Update(0, bitmaps[gi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			hash, lhash := rng.Uint32(), rng.Uint32()
+			ctx := &ebpf.ReuseportCtx{Hash: hash, LocalityHash: lhash}
+			r0, err := prog.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ng, nw, nok := NativeSelectGrouped(bitmaps, hash, lhash, 2, key)
+			if nok != (r0 == 0) {
+				t.Fatalf("trial %d: vm r0=%d native ok=%v", trial, r0, nok)
+			}
+			if nok {
+				got := ctx.Selected.(*fakeSock)
+				if got.g != ng || got.s != nw {
+					t.Fatalf("trial %d: vm (%d,%d) native (%d,%d)", trial, got.g, got.s, ng, nw)
+				}
+			}
+		}
+	}
+}
+
+func TestDispatchProgramSize(t *testing.T) {
+	sel := ebpf.NewArrayMap(1)
+	sa := ebpf.NewSockArray(64)
+	for i := 0; i < 64; i++ {
+		sa.Put(uint32(i), i)
+	}
+	p, err := BuildDispatchProgram(sel, sa, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("single-group dispatch: %d insns", p.Len())
+	if p.Len() > 256 {
+		t.Fatalf("dispatch program unexpectedly large: %d insns", p.Len())
+	}
+	// 16 groups must still fit the verifier budget comfortably.
+	gm := make([]GroupMaps, 16)
+	for i := range gm {
+		gm[i] = GroupMaps{Sel: ebpf.NewArrayMap(1), Socks: sa}
+	}
+	gp, err := BuildGroupedDispatchProgram(gm, 2, GroupByTupleHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("16-group dispatch: %d insns", gp.Len())
+	if gp.Len() > ebpf.MaxInsns {
+		t.Fatal("grouped program exceeds verifier budget")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	sel := ebpf.NewArrayMap(1)
+	sa := ebpf.NewSockArray(1)
+	if _, err := BuildDispatchProgram(sel, sa, 0); err == nil {
+		t.Fatal("minWorkers=0 accepted")
+	}
+	if _, err := BuildGroupedDispatchProgram(nil, 2, GroupByTupleHash); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+	if _, err := BuildGroupedDispatchProgram([]GroupMaps{{Sel: sel, Socks: sa}}, 0, GroupByTupleHash); err == nil {
+		t.Fatal("grouped minWorkers=0 accepted")
+	}
+}
+
+// End-to-end: controller + kernel. Workers 0,1 healthy, worker 2 hung; new
+// connections must avoid worker 2 entirely once the scheduler has run.
+func TestControllerEndToEndAvoidsHungWorker(t *testing.T) {
+	for _, attach := range []string{"ebpf", "native"} {
+		t.Run(attach, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			ns := kernel.NewNetStack(eng, kernel.WakeExclusiveLIFO)
+			g, err := ns.ListenReuseport(80, 3, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctl, err := NewController(3, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if attach == "ebpf" {
+				err = ctl.AttachEBPF(g)
+			} else {
+				err = ctl.AttachNative(g)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			now := int64(time.Second)
+			hooks := []*WorkerHook{ctl.NewWorkerHook(0), ctl.NewWorkerHook(1), ctl.NewWorkerHook(2)}
+			hooks[0].LoopEnter(now)
+			hooks[1].LoopEnter(now)
+			hooks[2].LoopEnter(now - int64(ctl.Config().HangThreshold) - 1) // hung
+			res := hooks[0].ScheduleAndSync(now)
+			if res.Passed != 2 || res.Bitmap.Has(2) {
+				t.Fatalf("schedule: %+v", res)
+			}
+
+			for i := uint32(0); i < 300; i++ {
+				ns.DeliverSYN(kernel.FourTuple{SrcIP: i, SrcPort: uint16(i), DstIP: 1, DstPort: 80}, nil)
+			}
+			if q := g.Sockets()[2].QueueLen(); q != 0 {
+				t.Fatalf("hung worker received %d connections", q)
+			}
+			if g.ProgDispatched != 300 {
+				t.Fatalf("ProgDispatched=%d fallbacks=%d errs=%d",
+					g.ProgDispatched, g.Fallbacks, g.ProgErrors)
+			}
+			a := g.Sockets()[0].QueueLen() + int(g.Sockets()[0].Drops)
+			b := g.Sockets()[1].QueueLen() + int(g.Sockets()[1].Drops)
+			if a+b != 300 || a < 90 || b < 90 {
+				t.Fatalf("healthy split %d/%d", a, b)
+			}
+			st := ctl.Stats()
+			if st.ScheduleCalls != 1 || st.Syncs != 1 || st.AvgPassed != 2 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+// With fewer than MinWorkers passing, dispatch must fall back to reuseport
+// hashing — including onto the "unavailable" worker (two-stage filtering's
+// deliberate safety valve, §5.3.2).
+func TestControllerFallbackBelowMinWorkers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ns := kernel.NewNetStack(eng, kernel.WakeExclusiveLIFO)
+	g, _ := ns.ListenReuseport(80, 3, 0)
+	ctl, _ := NewController(3, DefaultConfig()) // MinWorkers=2
+	if err := ctl.AttachEBPF(g); err != nil {
+		t.Fatal(err)
+	}
+	now := int64(time.Second)
+	h0 := ctl.NewWorkerHook(0)
+	h0.LoopEnter(now) // only worker 0 alive
+	h0.ScheduleAndSync(now)
+
+	for i := uint32(0); i < 300; i++ {
+		ns.DeliverSYN(kernel.FourTuple{SrcIP: i, SrcPort: uint16(i), DstIP: 1, DstPort: 80}, nil)
+	}
+	if g.Fallbacks != 300 {
+		t.Fatalf("fallbacks=%d prog=%d", g.Fallbacks, g.ProgDispatched)
+	}
+	// Hash fallback spreads across all 3 sockets.
+	spread := 0
+	for _, s := range g.Sockets() {
+		if s.QueueLen() > 0 {
+			spread++
+		}
+	}
+	if spread != 3 {
+		t.Fatalf("fallback did not hash across all sockets: %d", spread)
+	}
+}
+
+func TestControllerSizeMismatch(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ns := kernel.NewNetStack(eng, kernel.WakeExclusiveLIFO)
+	g, _ := ns.ListenReuseport(80, 4, 0)
+	ctl, _ := NewController(3, DefaultConfig())
+	if err := ctl.AttachEBPF(g); err == nil {
+		t.Fatal("size mismatch accepted (ebpf)")
+	}
+	if err := ctl.AttachNative(g); err == nil {
+		t.Fatal("size mismatch accepted (native)")
+	}
+	if _, err := NewController(0, DefaultConfig()); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := NewController(65, DefaultConfig()); err == nil {
+		t.Fatal("65 workers accepted")
+	}
+}
+
+func TestWorkerHookCounters(t *testing.T) {
+	ctl, _ := NewController(2, DefaultConfig())
+	h := ctl.NewWorkerHook(0)
+	h.LoopEnter(100)
+	h.EventsFetched(3)
+	h.EventHandled()
+	h.ConnOpened()
+	h.ConnOpened()
+	h.ConnClosed()
+	m := h.Metrics()
+	if m.LoopEnterNS != 100 || m.Busy != 2 || m.Conn != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	h.EventsFetched(0)
+	h.EventsFetched(-5)
+	if h.Metrics().Busy != 2 {
+		t.Fatal("non-positive EventsFetched must be ignored")
+	}
+}
+
+// 128 workers over two groups: dispatch must reach both groups with tuple
+// hashing, and pin destinations with locality hashing.
+func TestGroupedControllerTwoLevel(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ns := kernel.NewNetStack(eng, kernel.WakeExclusiveLIFO)
+	g, err := ns.ListenReuseport(80, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := NewGroupedController(128, DefaultConfig(), GroupByTupleHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Groups() != 2 || gc.Workers() != 128 {
+		t.Fatalf("layout: %d groups, %d workers", gc.Groups(), gc.Workers())
+	}
+	if err := gc.AttachEBPF(g); err != nil {
+		t.Fatal(err)
+	}
+	now := int64(time.Second)
+	for w := 0; w < 128; w++ {
+		h := gc.NewWorkerHook(w)
+		h.LoopEnter(now)
+		h.ScheduleAndSync(now)
+	}
+	for i := uint32(0); i < 4000; i++ {
+		ns.DeliverSYN(kernel.FourTuple{SrcIP: i * 7, SrcPort: uint16(i), DstIP: i % 50, DstPort: 80}, nil)
+	}
+	if g.ProgDispatched != 4000 {
+		t.Fatalf("prog=%d fallbacks=%d errors=%d", g.ProgDispatched, g.Fallbacks, g.ProgErrors)
+	}
+	lo, hi := 0, 0
+	for i, s := range g.Sockets() {
+		n := s.QueueLen() + int(s.Drops)
+		if i < 64 {
+			lo += n
+		} else {
+			hi += n
+		}
+	}
+	if lo < 1000 || hi < 1000 {
+		t.Fatalf("group split %d/%d too skewed", lo, hi)
+	}
+}
+
+func TestGroupedControllerLocalityPinsDestination(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ns := kernel.NewNetStack(eng, kernel.WakeExclusiveLIFO)
+	g, _ := ns.ListenReuseport(80, 8, 0)
+	gc, err := NewGroupedControllerWithGroups(8, 4, DefaultConfig(), GroupByLocalityHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.AttachNative(g); err != nil {
+		t.Fatal(err)
+	}
+	now := int64(time.Second)
+	for w := 0; w < 8; w++ {
+		h := gc.NewWorkerHook(w)
+		h.LoopEnter(now)
+		h.ScheduleAndSync(now)
+	}
+	// All connections share DstIP/DstPort → one group (2 workers); varying
+	// 4-tuples spread within it.
+	for i := uint32(0); i < 1000; i++ {
+		ns.DeliverSYN(kernel.FourTuple{SrcIP: i * 13, SrcPort: uint16(i * 7), DstIP: 42, DstPort: 80}, nil)
+	}
+	nonEmpty := 0
+	var hitGroup = -1
+	for i, s := range g.Sockets() {
+		if n := s.QueueLen() + int(s.Drops); n > 0 {
+			nonEmpty++
+			if hitGroup == -1 {
+				hitGroup = i / 2
+			} else if i/2 != hitGroup {
+				t.Fatalf("traffic crossed groups: socket %d and group %d", i, hitGroup)
+			}
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("locality mode hit %d sockets, want the 2 of one group", nonEmpty)
+	}
+}
+
+func TestGroupedControllerValidation(t *testing.T) {
+	if _, err := NewGroupedController(0, DefaultConfig(), GroupByTupleHash); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := NewGroupedControllerWithGroups(10, 3, DefaultConfig(), GroupByTupleHash); err == nil {
+		t.Fatal("non-divisible grouping accepted")
+	}
+	if _, err := NewGroupedControllerWithGroups(130, 2, DefaultConfig(), GroupByTupleHash); err == nil {
+		t.Fatal("span > 64 accepted")
+	}
+	eng := sim.NewEngine(1)
+	ns := kernel.NewNetStack(eng, kernel.WakeExclusiveLIFO)
+	g, _ := ns.ListenReuseport(80, 4, 0)
+	gc, _ := NewGroupedController(128, DefaultConfig(), GroupByTupleHash)
+	if err := gc.AttachEBPF(g); err == nil {
+		t.Fatal("socket mismatch accepted")
+	}
+	if err := gc.AttachNative(g); err == nil {
+		t.Fatal("socket mismatch accepted (native)")
+	}
+}
+
+func BenchmarkSchedule32(b *testing.B) {
+	now := int64(time.Second)
+	ms := freshMetrics(32, now)
+	for i := range ms {
+		ms[i].Busy = int64(i % 7)
+		ms[i].Conn = int64(i * 13 % 301)
+	}
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Schedule(now, ms, cfg, OrderTimeConnEvent)
+	}
+}
+
+func BenchmarkDispatchVMvsNative(b *testing.B) {
+	sel := ebpf.NewArrayMap(1)
+	sa := ebpf.NewSockArray(32)
+	for i := 0; i < 32; i++ {
+		sa.Put(uint32(i), i)
+	}
+	sel.Update(0, 0xaaaa5555aaaa5555)
+	prog, err := BuildDispatchProgram(sel, sa, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("vm", func(b *testing.B) {
+		ctx := &ebpf.ReuseportCtx{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx.Hash = uint32(i)
+			if _, err := prog.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		bm, _ := sel.Lookup(0)
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			w, _ := NativeSelect(bm, uint32(i), 2)
+			sink += w
+		}
+		_ = sink
+	})
+}
+
+// The emitted Algorithm 2 bytecode must contain the paper's building blocks
+// (map lookup, reciprocal_scale, sk_select_reuseport, bit arithmetic) and
+// stay loop-free by construction.
+func TestDispatchProgramShape(t *testing.T) {
+	sel := ebpf.NewArrayMap(1)
+	sa := ebpf.NewSockArray(8)
+	for i := 0; i < 8; i++ {
+		if err := sa.Put(uint32(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := BuildDispatchProgram(sel, sa, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble()
+	for _, frag := range []string{
+		"call bpf_map_lookup_elem",
+		"call bpf_get_hash",
+		"call reciprocal_scale",
+		"call bpf_sk_select_reuseport",
+		"exit",
+	} {
+		if !strings.Contains(dis, frag) {
+			t.Errorf("dispatch program missing %q:\n%s", frag, dis)
+		}
+	}
+	// The grouped program adds the locality helper when keyed by locality.
+	gp, err := BuildGroupedDispatchProgram([]GroupMaps{{Sel: sel, Socks: sa}}, 2, GroupByLocalityHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gp.Disassemble(), "call bpf_get_locality_hash") {
+		t.Error("grouped-by-locality program missing locality helper")
+	}
+}

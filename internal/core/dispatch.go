@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"hermes/internal/bitops"
+	"hermes/internal/ebpf"
+)
+
+// This file emits Algorithm 2 — Hermes's in-kernel connection dispatch — as
+// simulated eBPF bytecode, and provides the semantically identical native-Go
+// selector used where production would run the JIT-compiled program.
+//
+// The program must respect eBPF's constraints (no loops, bounded size), so
+// CountNonZeroBits and FindNthNonZeroBit are expanded inline as straight-line
+// bit arithmetic with forward branches only (§5.4, Bit Twiddling Hacks).
+
+const (
+	m1 = 0x5555555555555555
+	m2 = 0x3333333333333333
+	m4 = 0x0f0f0f0f0f0f0f0f
+	h1 = 0x0101010101010101
+)
+
+// emitPopCount appends dst = popcount(dst), clobbering tmp. 13 instructions,
+// branch-free.
+func emitPopCount(a *ebpf.Assembler, dst, tmp ebpf.Reg) {
+	a.MovReg(tmp, dst).RshImm(tmp, 1).AndImm(tmp, m1).SubReg(dst, tmp)
+	a.MovReg(tmp, dst).RshImm(tmp, 2).AndImm(tmp, m2).AndImm(dst, m2).AddReg(dst, tmp)
+	a.MovReg(tmp, dst).RshImm(tmp, 4).AddReg(dst, tmp).AndImm(dst, m4)
+	a.MulImm(dst, h1).RshImm(dst, 56)
+}
+
+// emitFindNth appends pos = FindNthNonZeroBit(v, rank), the rank-select walk
+// from 32-bit halves down to single bits. rank (1-based) is consumed; v is
+// preserved; t and tmp are scratch. All branches are forward. The caller
+// guarantees 1 ≤ rank ≤ popcount(v).
+func emitFindNth(a *ebpf.Assembler, v, rank, pos, t, tmp ebpf.Reg, labelPrefix string) {
+	a.MovImm(pos, 0)
+	for _, w := range []uint64{32, 16, 8, 4, 2} {
+		lbl := fmt.Sprintf("%s_w%d", labelPrefix, w)
+		a.MovReg(t, v).RshReg(t, pos).AndImm(t, (1<<w)-1)
+		emitPopCount(a, t, tmp)
+		a.JleReg(rank, t, lbl) // rank <= popcount(low half): stay
+		a.AddImm(pos, w)
+		a.SubReg(rank, t)
+		a.Label(lbl)
+	}
+	lbl := labelPrefix + "_w1"
+	a.MovReg(t, v).RshReg(t, pos).AndImm(t, 1)
+	a.JleReg(rank, t, lbl)
+	a.AddImm(pos, 1)
+	a.Label(lbl)
+}
+
+// emitGroupDispatch appends the single-group body of Algorithm 2 against the
+// given map slots: load the selection bitmap, count candidates, bail to
+// fallLabel if fewer than minWorkers, otherwise scale the 4-tuple hash to a
+// rank, select that worker's socket and exit 0. labelPrefix uniquifies
+// labels when several group bodies share one program.
+func emitGroupDispatch(a *ebpf.Assembler, selSlot, sockSlot uint64, minWorkers int, fallLabel, labelPrefix string) {
+	// R6 = C = M_sel[0]
+	a.LdMap(ebpf.R1, selSlot)
+	a.MovImm(ebpf.R2, 0)
+	a.Call(ebpf.HelperMapLookupElem)
+	a.MovReg(ebpf.R6, ebpf.R0)
+
+	// R7 = n = CountNonZeroBits(C)
+	a.MovReg(ebpf.R7, ebpf.R6)
+	emitPopCount(a, ebpf.R7, ebpf.R3)
+	a.JltImm(ebpf.R7, uint64(minWorkers), fallLabel)
+
+	// R8 = reciprocal_scale(hash, n) + 1   (1-based rank)
+	a.Call(ebpf.HelperGetHash)
+	a.MovReg(ebpf.R1, ebpf.R0)
+	a.MovReg(ebpf.R2, ebpf.R7)
+	a.Call(ebpf.HelperReciprocalScale)
+	a.MovReg(ebpf.R8, ebpf.R0)
+	a.AddImm(ebpf.R8, 1)
+
+	// R9 = FindNthNonZeroBit(C, rank)
+	emitFindNth(a, ebpf.R6, ebpf.R8, ebpf.R9, ebpf.R4, ebpf.R5, labelPrefix+"_sel")
+
+	// bpf_sk_select_reuseport(M_socket, ID)
+	a.LdMap(ebpf.R1, sockSlot)
+	a.MovReg(ebpf.R2, ebpf.R9)
+	a.Call(ebpf.HelperSkSelectReuseport)
+	a.JneImm(ebpf.R0, 0, fallLabel)
+	a.MovImm(ebpf.R0, 0)
+	a.Exit()
+}
+
+// BuildDispatchProgram assembles and verifies the single-group Algorithm 2
+// program over the given selection map (one uint64 bitmap at key 0) and
+// sockarray (worker i → socket i). Returning 0 selects the socket in the
+// run context; returning 1 asks the kernel to fall back to reuseport
+// hashing.
+func BuildDispatchProgram(sel *ebpf.ArrayMap, socks *ebpf.SockArray, minWorkers int) (*ebpf.Program, error) {
+	if minWorkers < 1 {
+		return nil, fmt.Errorf("core: minWorkers must be ≥ 1, got %d", minWorkers)
+	}
+	a := ebpf.NewAssembler()
+	selSlot := a.AddMap(sel)
+	sockSlot := a.AddMap(socks)
+	emitGroupDispatch(a, selSlot, sockSlot, minWorkers, "fallback", "g0")
+	a.Label("fallback")
+	a.MovImm(ebpf.R0, 1)
+	a.Exit()
+	return a.Assemble()
+}
+
+// GroupMaps holds one worker group's kernel-visible state for the two-level
+// dispatch of §7 (>64 workers) and the locality mode of Fig. A6.
+type GroupMaps struct {
+	Sel   *ebpf.ArrayMap
+	Socks *ebpf.SockArray
+}
+
+// GroupKey selects which hash drives level-1 group selection.
+type GroupKey uint8
+
+// Level-1 keys.
+const (
+	// GroupByTupleHash spreads connections across groups by 4-tuple hash —
+	// the >64-worker scaling mode (§7).
+	GroupByTupleHash GroupKey = iota
+	// GroupByLocalityHash pins same-destination connections to one group —
+	// the cache-locality mode (Fig. A6).
+	GroupByLocalityHash
+)
+
+// BuildGroupedDispatchProgram assembles the two-level program: level 1
+// hashes to a group (by tuple or locality hash), level 2 runs the standard
+// bitmap dispatch within that group. Group selection compiles to a forward
+// branch chain, so program size grows linearly with the group count; the
+// verifier's instruction budget admits 30+ groups (≈2000 workers), far
+// beyond the paper's deployment sizes.
+func BuildGroupedDispatchProgram(groups []GroupMaps, minWorkers int, key GroupKey) (*ebpf.Program, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no groups")
+	}
+	if minWorkers < 1 {
+		return nil, fmt.Errorf("core: minWorkers must be ≥ 1, got %d", minWorkers)
+	}
+	a := ebpf.NewAssembler()
+	type slots struct{ sel, sock uint64 }
+	ss := make([]slots, len(groups))
+	for i, g := range groups {
+		ss[i] = slots{sel: a.AddMap(g.Sel), sock: a.AddMap(g.Socks)}
+	}
+
+	// R9 = group = reciprocal_scale(level1hash, nGroups)
+	switch key {
+	case GroupByLocalityHash:
+		a.Call(ebpf.HelperGetLocalityHash)
+	default:
+		a.Call(ebpf.HelperGetHash)
+	}
+	a.MovReg(ebpf.R1, ebpf.R0)
+	a.MovImm(ebpf.R2, uint64(len(groups)))
+	a.Call(ebpf.HelperReciprocalScale)
+	a.MovReg(ebpf.R9, ebpf.R0)
+
+	// Branch chain to the matching group body.
+	for i := range groups {
+		a.JeqImm(ebpf.R9, uint64(i), fmt.Sprintf("grp%d", i))
+	}
+	a.Ja("fallback")
+	for i, s := range ss {
+		a.Label(fmt.Sprintf("grp%d", i))
+		emitGroupDispatch(a, s.sel, s.sock, minWorkers, "fallback", fmt.Sprintf("g%d", i))
+	}
+	a.Label("fallback")
+	a.MovImm(ebpf.R0, 1)
+	a.Exit()
+	return a.Assemble()
+}
+
+// NativeSelect is the Go-native twin of the single-group dispatch program:
+// given the current bitmap and connection hash it returns the selected
+// worker index, or ok=false to request reuseport-hash fallback. Behaviour is
+// bit-identical to the bytecode (property-tested), standing in for the
+// JIT-compiled program on hot paths.
+func NativeSelect(bitmap uint64, hash uint32, minWorkers int) (worker int, ok bool) {
+	n := bitops.PopCount64(bitmap)
+	if n < minWorkers {
+		return 0, false
+	}
+	rank := int(bitops.ReciprocalScale(hash, uint32(n))) + 1
+	idx := bitops.FindNthSetBit(bitmap, rank)
+	if idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// NativeSelectGrouped is the native twin of the two-level program.
+func NativeSelectGrouped(bitmaps []uint64, hash, localityHash uint32, minWorkers int, key GroupKey) (group, worker int, ok bool) {
+	if len(bitmaps) == 0 {
+		return 0, 0, false
+	}
+	l1 := hash
+	if key == GroupByLocalityHash {
+		l1 = localityHash
+	}
+	g := int(bitops.ReciprocalScale(l1, uint32(len(bitmaps))))
+	w, ok := NativeSelect(bitmaps[g], hash, minWorkers)
+	return g, w, ok
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"hermes/internal/ebpf"
+	"hermes/internal/kernel"
+	"hermes/internal/shm"
+)
+
+// GroupedController is the two-level Hermes deployment (§7): workers are
+// partitioned into groups of ≤64, each group has an independent WST and
+// selection map updated only by its own workers, and the kernel dispatcher
+// first hashes a connection to a group, then bitmap-selects within it.
+// With GroupByLocalityHash as the level-1 key it doubles as the
+// cache-locality mode of Fig. A6: same-destination traffic stays in one
+// group (locality) while load still spreads within the group (balance).
+// One group degenerates to standard Hermes; one worker per group degenerates
+// to plain reuseport — the generalization the appendix points out.
+type GroupedController struct {
+	cfg   Config
+	order FilterOrder
+	key   GroupKey
+	wst   *shm.Grouped
+	sels  []*ebpf.ArrayMap
+}
+
+// NewGroupedController creates Hermes state for n workers split into
+// ceil(n/64) equal-span groups keyed by key.
+func NewGroupedController(n int, cfg Config, key GroupKey) (*GroupedController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: worker count %d < 1", n)
+	}
+	g := &GroupedController{cfg: cfg, key: key, wst: shm.NewGrouped(n)}
+	for i := 0; i < g.wst.Groups(); i++ {
+		g.sels = append(g.sels, ebpf.NewArrayMap(1))
+	}
+	return g, nil
+}
+
+// NewGroupedControllerWithGroups creates n workers split into exactly
+// nGroups groups (locality tuning: the grouping granularity controls the
+// locality/balance trade-off, Fig. A6). n must divide evenly into nGroups
+// spans of at most 64.
+func NewGroupedControllerWithGroups(n, nGroups int, cfg Config, key GroupKey) (*GroupedController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nGroups < 1 || n < nGroups || n%nGroups != 0 {
+		return nil, fmt.Errorf("core: cannot split %d workers into %d equal groups", n, nGroups)
+	}
+	span := n / nGroups
+	if span > shm.GroupSize {
+		return nil, fmt.Errorf("core: group span %d exceeds %d", span, shm.GroupSize)
+	}
+	g := &GroupedController{cfg: cfg, key: key, wst: shm.NewGroupedSpan(n, span)}
+	for i := 0; i < g.wst.Groups(); i++ {
+		g.sels = append(g.sels, ebpf.NewArrayMap(1))
+	}
+	return g, nil
+}
+
+// SetFilterOrder overrides the filter cascade (ablations).
+func (g *GroupedController) SetFilterOrder(o FilterOrder) { g.order = o }
+
+// Workers returns the total worker count.
+func (g *GroupedController) Workers() int { return g.wst.Workers() }
+
+// Groups returns the group count.
+func (g *GroupedController) Groups() int { return g.wst.Groups() }
+
+// SelMap returns group gi's selection map.
+func (g *GroupedController) SelMap(gi int) *ebpf.ArrayMap { return g.sels[gi] }
+
+// AttachEBPF builds and installs the two-level dispatch program. The
+// reuseport group's socket i must belong to global worker i.
+func (g *GroupedController) AttachEBPF(rg *kernel.ReuseportGroup) error {
+	if len(rg.Sockets()) != g.Workers() {
+		return fmt.Errorf("core: group has %d sockets, controller has %d workers",
+			len(rg.Sockets()), g.Workers())
+	}
+	socks := rg.Sockets()
+	groups := make([]GroupMaps, g.Groups())
+	for gi := range groups {
+		span := g.wst.Group(gi).Workers()
+		sa := ebpf.NewSockArray(span)
+		for slot := 0; slot < span; slot++ {
+			if err := sa.Put(uint32(slot), socks[g.wst.GlobalID(gi, slot)]); err != nil {
+				return err
+			}
+		}
+		groups[gi] = GroupMaps{Sel: g.sels[gi], Socks: sa}
+	}
+	prog, err := BuildGroupedDispatchProgram(groups, g.cfg.MinWorkers, g.key)
+	if err != nil {
+		return err
+	}
+	rg.AttachProgram(prog)
+	return nil
+}
+
+// AttachNative installs the native two-level selector.
+func (g *GroupedController) AttachNative(rg *kernel.ReuseportGroup) error {
+	if len(rg.Sockets()) != g.Workers() {
+		return fmt.Errorf("core: group has %d sockets, controller has %d workers",
+			len(rg.Sockets()), g.Workers())
+	}
+	socks := rg.Sockets()
+	min := g.cfg.MinWorkers
+	key := g.key
+	rg.AttachNative(func(hash, localityHash uint32) (*kernel.Socket, bool) {
+		l1 := hash
+		if key == GroupByLocalityHash {
+			l1 = localityHash
+		}
+		gi := int(reciprocalScale32(l1, uint32(g.Groups())))
+		bitmap, _ := g.sels[gi].Lookup(0)
+		w, ok := NativeSelect(bitmap, hash, min)
+		if !ok {
+			return nil, false
+		}
+		return socks[g.wst.GlobalID(gi, w)], true
+	})
+	return nil
+}
+
+// NewWorkerHook returns global worker id's hook. The embedded scheduler
+// operates on the worker's own group only: groups are independent control
+// loops (§7).
+func (g *GroupedController) NewWorkerHook(id int) *GroupedWorkerHook {
+	gi, slot := g.wst.Locate(id)
+	return &GroupedWorkerHook{
+		gc:    g,
+		group: gi,
+		slot:  slot,
+		w:     g.wst.Group(gi).Writer(slot),
+		buf:   make([]shm.Metrics, 0, g.wst.Group(gi).Workers()),
+	}
+}
+
+// GroupedWorkerHook is WorkerHook's two-level counterpart.
+type GroupedWorkerHook struct {
+	gc    *GroupedController
+	group int
+	slot  int
+	w     shm.Writer
+	buf   []shm.Metrics
+}
+
+// LoopEnter publishes the event-loop entry timestamp.
+func (h *GroupedWorkerHook) LoopEnter(nowNS int64) { h.w.SetLoopEnter(nowNS) }
+
+// EventsFetched adds the epoll_wait batch size to the pending-event count.
+func (h *GroupedWorkerHook) EventsFetched(n int) {
+	if n > 0 {
+		h.w.AddBusy(int64(n))
+	}
+}
+
+// EventHandled decrements the pending-event count.
+func (h *GroupedWorkerHook) EventHandled() { h.w.AddBusy(-1) }
+
+// ConnOpened increments the accumulated-connection count.
+func (h *GroupedWorkerHook) ConnOpened() { h.w.AddConn(1) }
+
+// ConnClosed decrements the accumulated-connection count.
+func (h *GroupedWorkerHook) ConnClosed() { h.w.AddConn(-1) }
+
+// ScheduleAndSync runs Algorithm 1 over this worker's group and publishes
+// the group bitmap.
+func (h *GroupedWorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
+	wst := h.gc.wst.Group(h.group)
+	h.buf = wst.Snapshot(h.buf[:0])
+	res := Schedule(nowNS, h.buf, h.gc.cfg, h.gc.order)
+	wst.StoreSelection(uint64(res.Bitmap))
+	_ = h.gc.sels[h.group].Update(0, uint64(res.Bitmap))
+	return res
+}
+
+func reciprocalScale32(val, n uint32) uint32 {
+	return uint32(uint64(val) * uint64(n) >> 32)
+}

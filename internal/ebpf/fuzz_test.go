@@ -1,0 +1,112 @@
+package ebpf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randProgram builds a random instruction sequence (valid registers, mostly
+// forward jumps, occasional helper calls and map loads) that may or may not
+// pass the verifier.
+func randProgram(rng *rand.Rand, am *ArrayMap, sa *SockArray) *Program {
+	n := 2 + rng.Intn(60)
+	insns := make([]Insn, 0, n)
+	for i := 0; i < n-1; i++ {
+		var in Insn
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			in = Insn{Op: OpMovImm, Dst: Reg(rng.Intn(10)), Imm: rng.Uint64()}
+		case 3:
+			in = Insn{Op: Op(rng.Intn(int(OpNeg) + 1)), Dst: Reg(rng.Intn(10)), Src: Reg(rng.Intn(10)), Imm: uint64(rng.Intn(64))}
+		case 4:
+			// Forward conditional jump (offset may land out of bounds —
+			// the verifier must catch that).
+			in = Insn{
+				Op:  OpJeqImm + Op(rng.Intn(int(OpJleReg-OpJeqImm)+1)),
+				Dst: Reg(rng.Intn(10)), Src: Reg(rng.Intn(10)),
+				Imm: uint64(rng.Intn(4)),
+				Off: int32(rng.Intn(n)),
+			}
+		case 5:
+			in = Insn{Op: OpJa, Off: int32(1 + rng.Intn(4))}
+		case 6:
+			in = Insn{Op: OpLdMap, Dst: Reg(rng.Intn(10)), Imm: uint64(rng.Intn(3))}
+		case 7:
+			in = Insn{Op: OpCall, Imm: uint64(1 + rng.Intn(6))}
+		case 8:
+			in = Insn{Op: OpExit}
+		default:
+			in = Insn{Op: OpMovReg, Dst: Reg(rng.Intn(10)), Src: Reg(rng.Intn(10))}
+		}
+		insns = append(insns, in)
+	}
+	insns = append(insns, Insn{Op: OpExit})
+	return &Program{insns: insns, maps: []Map{am, sa}}
+}
+
+// Property: any program the verifier accepts runs to completion — no panic,
+// no budget exhaustion, no fall-off — for arbitrary context hashes. ErrMapMiss
+// is legal (modelled NULL deref on array maps is impossible with in-range
+// keys but possible with random ones... array key range is checked, so the
+// only lookup failure is out-of-range, which returns miss).
+func TestFuzzVerifiedProgramsTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	am := NewArrayMap(2)
+	_ = am.Update(0, 0xdead)
+	sa := NewSockArray(4)
+	_ = sa.Put(0, "sock0")
+
+	accepted := 0
+	const trials = 30_000
+	for i := 0; i < trials; i++ {
+		p := randProgram(rng, am, sa)
+		if err := Verify(p); err != nil {
+			continue
+		}
+		accepted++
+		ctx := &ReuseportCtx{Hash: rng.Uint32(), LocalityHash: rng.Uint32()}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("verified program panicked: %v\n%s", r, p.Disassemble())
+				}
+			}()
+			_, err := p.Run(ctx)
+			if errors.Is(err, ErrBudget) {
+				t.Fatalf("verified program exhausted budget:\n%s", p.Disassemble())
+			}
+			if err != nil && !errors.Is(err, ErrMapMiss) {
+				t.Fatalf("verified program failed: %v\n%s", err, p.Disassemble())
+			}
+		}()
+	}
+	if accepted < 100 {
+		t.Fatalf("fuzzer only produced %d verified programs of %d; generator too weak", accepted, trials)
+	}
+	t.Logf("fuzz: %d/%d random programs verified and ran clean", accepted, trials)
+}
+
+// Property: the verifier never panics on arbitrary instruction sequences.
+func TestFuzzVerifierRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	am := NewArrayMap(1)
+	sa := NewSockArray(1)
+	for i := 0; i < 30_000; i++ {
+		p := randProgram(rng, am, sa)
+		// Occasionally corrupt offsets/opcodes beyond the generator's range.
+		if rng.Intn(4) == 0 && len(p.insns) > 0 {
+			j := rng.Intn(len(p.insns))
+			p.insns[j].Off = int32(rng.Int31()) - 1<<30
+			p.insns[j].Op = Op(rng.Intn(64))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("verifier panicked: %v", r)
+				}
+			}()
+			_ = Verify(p)
+		}()
+	}
+}

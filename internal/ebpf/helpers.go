@@ -1,0 +1,67 @@
+package ebpf
+
+import "fmt"
+
+// HelperID identifies a kernel helper callable from VM programs. The set
+// mirrors what Hermes's dispatch program needs (§5.4): map lookup,
+// reciprocal_scale, socket selection, plus the precomputed 4-tuple hash that
+// real reuseport programs read from their context.
+type HelperID uint64
+
+// Available helpers.
+const (
+	// HelperMapLookupElem: R1 = map handle (from OpLdMap), R2 = key.
+	// Returns the element value in R0 and sets the "found" flag in R1's
+	// place... no — to stay register-only (the simulated VM has no memory),
+	// the helper returns the value in R0 and, on miss, terminates the
+	// program with ErrMapMiss, mirroring the verifier-mandated null check a
+	// real program must perform before use.
+	HelperMapLookupElem HelperID = iota + 1
+	// HelperGetHash: returns the connection's precomputed 4-tuple hash in
+	// R0 (the kernel computes this before running reuseport programs).
+	HelperGetHash
+	// HelperReciprocalScale: R1 = value, R2 = n. Returns
+	// reciprocal_scale(value, n) in R0.
+	HelperReciprocalScale
+	// HelperSkSelectReuseport: R1 = sockarray handle, R2 = index. Selects
+	// the socket at index for the incoming connection; returns 0 in R0 on
+	// success, nonzero if the slot is empty/out of range (then the caller
+	// should fall back).
+	HelperSkSelectReuseport
+	// HelperGetLocalityHash: returns the destination-only (DIP, Dport) hash
+	// in R0, used by the cache-locality group mode (Fig. A6) to pin
+	// same-destination traffic to one worker group.
+	HelperGetLocalityHash
+)
+
+func (h HelperID) String() string {
+	switch h {
+	case HelperMapLookupElem:
+		return "bpf_map_lookup_elem"
+	case HelperGetHash:
+		return "bpf_get_hash"
+	case HelperReciprocalScale:
+		return "reciprocal_scale"
+	case HelperSkSelectReuseport:
+		return "bpf_sk_select_reuseport"
+	case HelperGetLocalityHash:
+		return "bpf_get_locality_hash"
+	default:
+		return fmt.Sprintf("helper#%d", uint64(h))
+	}
+}
+
+// helperSpec describes a helper's register contract for the verifier.
+type helperSpec struct {
+	args    int // number of argument registers (R1..Rargs) that must be initialized
+	mapArg  int // 1-based arg register that must hold a map handle, 0 if none
+	mapType MapType
+}
+
+var helperSpecs = map[HelperID]helperSpec{
+	HelperMapLookupElem:     {args: 2, mapArg: 1, mapType: MapTypeArray},
+	HelperGetHash:           {args: 0},
+	HelperReciprocalScale:   {args: 2},
+	HelperSkSelectReuseport: {args: 2, mapArg: 1, mapType: MapTypeReuseportSockArray},
+	HelperGetLocalityHash:   {args: 0},
+}

@@ -1,0 +1,137 @@
+package ebpf
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MapType identifies the simulated map kinds Hermes uses.
+type MapType uint8
+
+// Supported map types (§5.4: BPF_MAP_TYPE_ARRAY for the selection bitmap,
+// BPF_MAP_TYPE_REUSEPORT_SOCKARRAY for worker-to-socket mapping).
+const (
+	MapTypeArray MapType = iota
+	MapTypeReuseportSockArray
+)
+
+func (t MapType) String() string {
+	switch t {
+	case MapTypeArray:
+		return "BPF_MAP_TYPE_ARRAY"
+	case MapTypeReuseportSockArray:
+		return "BPF_MAP_TYPE_REUSEPORT_SOCKARRAY"
+	default:
+		return fmt.Sprintf("MapType(%d)", uint8(t))
+	}
+}
+
+// Map is the common surface of simulated maps, enough for the verifier and
+// the attach machinery to reason about them.
+type Map interface {
+	Type() MapType
+	MaxEntries() int
+}
+
+// ArrayMap is a BPF_MAP_TYPE_ARRAY of 64-bit values. Element access is
+// atomic per element, which is exactly the property Hermes relies on to
+// share the selection bitmap between userspace and the kernel without locks
+// (§5.4 "eBPF maps inherently support atomic<int>").
+//
+// Userspace writes via Update (modelling the bpf() syscall) and the VM reads
+// via Lookup inside HelperMapLookupElem.
+type ArrayMap struct {
+	vals []uint64
+	// SyscallCount counts userspace update/lookup operations, modelling the
+	// syscall + context-switch cost accounted in Table 5.
+	SyscallCount atomic.Uint64
+}
+
+// NewArrayMap creates an array map with maxEntries zeroed elements.
+func NewArrayMap(maxEntries int) *ArrayMap {
+	if maxEntries < 1 {
+		panic(fmt.Sprintf("ebpf: array map needs ≥1 entries, got %d", maxEntries))
+	}
+	return &ArrayMap{vals: make([]uint64, maxEntries)}
+}
+
+// Type implements Map.
+func (m *ArrayMap) Type() MapType { return MapTypeArray }
+
+// MaxEntries implements Map.
+func (m *ArrayMap) MaxEntries() int { return len(m.vals) }
+
+// Lookup reads element key from kernel context (no syscall accounting).
+func (m *ArrayMap) Lookup(key uint32) (uint64, bool) {
+	if int(key) >= len(m.vals) {
+		return 0, false
+	}
+	return atomic.LoadUint64(&m.vals[key]), true
+}
+
+// Update writes element key from userspace, modelling bpf(BPF_MAP_UPDATE_ELEM).
+func (m *ArrayMap) Update(key uint32, val uint64) error {
+	if int(key) >= len(m.vals) {
+		return fmt.Errorf("ebpf: update key %d out of range [0,%d)", key, len(m.vals))
+	}
+	atomic.StoreUint64(&m.vals[key], val)
+	m.SyscallCount.Add(1)
+	return nil
+}
+
+// UserLookup reads element key from userspace, modelling bpf(BPF_MAP_LOOKUP_ELEM).
+func (m *ArrayMap) UserLookup(key uint32) (uint64, error) {
+	if int(key) >= len(m.vals) {
+		return 0, fmt.Errorf("ebpf: lookup key %d out of range [0,%d)", key, len(m.vals))
+	}
+	m.SyscallCount.Add(1)
+	return atomic.LoadUint64(&m.vals[key]), nil
+}
+
+// SockRef is an opaque reference to a kernel socket registered in a
+// SockArray. The kernel package supplies its socket type; the eBPF layer
+// never inspects it.
+type SockRef any
+
+// SockArray is a BPF_MAP_TYPE_REUSEPORT_SOCKARRAY mapping worker IDs to
+// listening sockets (M_socket in Algorithm 2). Slots are populated at Hermes
+// initialization time as workers create their reuseport sockets.
+type SockArray struct {
+	refs []atomic.Value // each holds SockRef
+	n    int
+}
+
+// NewSockArray creates a sockarray with maxEntries empty slots.
+func NewSockArray(maxEntries int) *SockArray {
+	if maxEntries < 1 {
+		panic(fmt.Sprintf("ebpf: sockarray needs ≥1 entries, got %d", maxEntries))
+	}
+	return &SockArray{refs: make([]atomic.Value, maxEntries), n: maxEntries}
+}
+
+// Type implements Map.
+func (m *SockArray) Type() MapType { return MapTypeReuseportSockArray }
+
+// MaxEntries implements Map.
+func (m *SockArray) MaxEntries() int { return m.n }
+
+// Put registers sock at slot key.
+func (m *SockArray) Put(key uint32, sock SockRef) error {
+	if int(key) >= m.n {
+		return fmt.Errorf("ebpf: sockarray key %d out of range [0,%d)", key, m.n)
+	}
+	if sock == nil {
+		return fmt.Errorf("ebpf: nil socket for key %d", key)
+	}
+	m.refs[key].Store(sock)
+	return nil
+}
+
+// Get returns the socket at slot key, or nil if the slot is empty or out of
+// range.
+func (m *SockArray) Get(key uint32) SockRef {
+	if int(key) >= m.n {
+		return nil
+	}
+	return m.refs[key].Load()
+}

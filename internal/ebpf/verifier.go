@@ -1,0 +1,209 @@
+package ebpf
+
+import "fmt"
+
+// Verifier limits, mirroring the real runtime's spirit: programs are small,
+// loop-free, and cannot read uninitialized state.
+const (
+	// MaxInsns bounds program length (the classic BPF limit).
+	MaxInsns = 4096
+)
+
+// VerifierError describes why a program was rejected.
+type VerifierError struct {
+	PC     int
+	Reason string
+}
+
+func (e *VerifierError) Error() string {
+	return fmt.Sprintf("ebpf: verifier rejected program at insn %d: %s", e.PC, e.Reason)
+}
+
+func reject(pc int, format string, args ...any) error {
+	return &VerifierError{PC: pc, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Verify statically checks a program:
+//
+//   - length within MaxInsns and nonzero;
+//   - every jump strictly forward and in bounds (⇒ no loops, guaranteed
+//     termination — the property that lets the kernel run untrusted code on
+//     the connection dispatch path);
+//   - no fallthrough off the end (last reachable path must OpExit);
+//   - helper IDs known, helper map arguments referencing registered maps of
+//     the right type;
+//   - no register read before initialization on any path. R1 holds the
+//     context at entry (as in real reuseport programs). Helper calls read
+//     their declared argument registers, then clobber R1–R5 and define R0.
+func Verify(p *Program) error {
+	n := len(p.insns)
+	if n == 0 {
+		return reject(0, "empty program")
+	}
+	if n > MaxInsns {
+		return reject(0, "program too long: %d > %d", n, MaxInsns)
+	}
+
+	// Structural checks first.
+	for pc, in := range p.insns {
+		if in.isJump() {
+			if in.Op == OpJa && in.Off <= 0 {
+				return reject(pc, "non-forward ja offset %d", in.Off)
+			}
+			if in.Off < 0 {
+				return reject(pc, "backward jump offset %d", in.Off)
+			}
+			if tgt := pc + 1 + int(in.Off); tgt > n {
+				return reject(pc, "jump target %d out of bounds", tgt)
+			} else if tgt == n {
+				return reject(pc, "jump falls off program end")
+			}
+		}
+		if in.Op == OpCall {
+			if _, ok := helperSpecs[HelperID(in.Imm)]; !ok {
+				return reject(pc, "unknown helper %d", in.Imm)
+			}
+		}
+		if in.Op == OpLdMap {
+			if int(in.Imm) >= len(p.maps) {
+				return reject(pc, "map slot %d not registered", in.Imm)
+			}
+		}
+		if in.Dst >= NumRegs || in.Src >= NumRegs {
+			return reject(pc, "register out of range")
+		}
+	}
+	if p.insns[n-1].Op != OpExit && !(p.insns[n-1].isJump()) {
+		// The last instruction must not fall through. A jump as the last
+		// insn was already rejected above (target would be ≥ n).
+		return reject(n-1, "program may fall off the end (last insn is %s)", p.insns[n-1])
+	}
+
+	// Dataflow: forward pass over the DAG (jumps are forward-only, so a
+	// single in-order pass visiting each pc once, meeting states from all
+	// predecessors, is a sound fixpoint).
+	type state struct {
+		init    uint16        // bitmask of initialized registers
+		mapType [NumRegs]int8 // -1 unknown/scalar, else MapType+1
+		reached bool
+	}
+	merge := func(dst *state, src state) {
+		if !dst.reached {
+			*dst = src
+			return
+		}
+		dst.init &= src.init // initialized only if initialized on all paths
+		for r := 0; r < NumRegs; r++ {
+			if dst.mapType[r] != src.mapType[r] {
+				dst.mapType[r] = 0 // conflicting origin -> scalar
+			}
+		}
+	}
+	states := make([]state, n+1)
+	entry := state{reached: true}
+	entry.init = 1 << R1 // context pointer
+	states[0] = entry
+
+	fellOff := false
+	for pc := 0; pc < n; pc++ {
+		st := states[pc]
+		if !st.reached {
+			continue
+		}
+		in := p.insns[pc]
+
+		readReg := func(r Reg) error {
+			if st.init&(1<<r) == 0 {
+				return reject(pc, "read of uninitialized register %s", r)
+			}
+			return nil
+		}
+		writeReg := func(r Reg, mt int8) {
+			st.init |= 1 << r
+			st.mapType[r] = mt
+		}
+
+		switch in.Op {
+		case OpMovImm:
+			writeReg(in.Dst, 0)
+		case OpMovReg:
+			if err := readReg(in.Src); err != nil {
+				return err
+			}
+			writeReg(in.Dst, st.mapType[in.Src])
+		case OpAddImm, OpSubImm, OpMulImm, OpAndImm, OpOrImm, OpXorImm, OpLshImm, OpRshImm, OpNeg:
+			if err := readReg(in.Dst); err != nil {
+				return err
+			}
+			writeReg(in.Dst, 0)
+		case OpAddReg, OpSubReg, OpMulReg, OpAndReg, OpOrReg, OpXorReg, OpLshReg, OpRshReg:
+			if err := readReg(in.Dst); err != nil {
+				return err
+			}
+			if err := readReg(in.Src); err != nil {
+				return err
+			}
+			writeReg(in.Dst, 0)
+		case OpLdMap:
+			writeReg(in.Dst, int8(p.maps[in.Imm].Type())+1)
+		case OpCall:
+			spec := helperSpecs[HelperID(in.Imm)]
+			for i := 1; i <= spec.args; i++ {
+				if err := readReg(Reg(i)); err != nil {
+					return err
+				}
+			}
+			if spec.mapArg != 0 {
+				r := Reg(spec.mapArg)
+				mt := st.mapType[r]
+				if mt == 0 {
+					return reject(pc, "helper %s arg%d (%s) is not a map handle",
+						HelperID(in.Imm), spec.mapArg, r)
+				}
+				if MapType(mt-1) != spec.mapType {
+					return reject(pc, "helper %s arg%d needs %s, got %s",
+						HelperID(in.Imm), spec.mapArg, spec.mapType, MapType(mt-1))
+				}
+			}
+			// Calls clobber caller-saved registers and define R0.
+			for r := R1; r <= R5; r++ {
+				st.init &^= 1 << r
+				st.mapType[r] = 0
+			}
+			writeReg(R0, 0)
+		case OpJa:
+			merge(&states[pc+1+int(in.Off)], st)
+			continue // no fallthrough
+		case OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm:
+			if err := readReg(in.Dst); err != nil {
+				return err
+			}
+			merge(&states[pc+1+int(in.Off)], st)
+		case OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg:
+			if err := readReg(in.Dst); err != nil {
+				return err
+			}
+			if err := readReg(in.Src); err != nil {
+				return err
+			}
+			merge(&states[pc+1+int(in.Off)], st)
+		case OpExit:
+			if err := readReg(R0); err != nil {
+				return reject(pc, "exit with uninitialized R0")
+			}
+			continue // no fallthrough
+		default:
+			return reject(pc, "unknown opcode %d", in.Op)
+		}
+
+		if pc+1 == n {
+			fellOff = true
+			break
+		}
+		merge(&states[pc+1], st)
+	}
+	if fellOff {
+		return reject(n-1, "execution can fall off program end")
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package ebpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ReuseportCtx is the execution context handed to a program attached at the
+// SO_ATTACH_REUSEPORT_EBPF hook. The kernel (simulated in internal/kernel)
+// fills Hash with the connection 4-tuple hash before invoking the program;
+// the program communicates its decision back through Selected.
+type ReuseportCtx struct {
+	// Hash is the precomputed 4-tuple hash of the incoming connection.
+	Hash uint32
+	// LocalityHash is the destination-only (DIP, Dport) hash, consumed by
+	// the cache-locality group mode (Fig. A6).
+	LocalityHash uint32
+	// Selected holds the socket chosen via bpf_sk_select_reuseport, nil if
+	// the program did not select one.
+	Selected SockRef
+	// SelectedIndex is the sockarray slot of Selected (-1 if none).
+	SelectedIndex int
+}
+
+// Program run errors.
+var (
+	// ErrMapMiss reports a bpf_map_lookup_elem on a missing key. Real
+	// programs get a NULL pointer and must branch; the register-only VM
+	// models the unchecked-deref crash as a run error instead.
+	ErrMapMiss = errors.New("ebpf: map lookup miss")
+	// ErrBudget reports instruction-budget exhaustion (cannot happen for
+	// verified programs; kept as a backstop for the interpreter itself).
+	ErrBudget = errors.New("ebpf: instruction budget exhausted")
+)
+
+// Run interprets the program against ctx and returns R0.
+//
+// Verified programs always terminate: jumps are forward-only, so pc strictly
+// increases. The budget check is a defence-in-depth backstop only.
+func (p *Program) Run(ctx *ReuseportCtx) (uint64, error) {
+	var regs [NumRegs]uint64
+	// R1 carries the context at entry, as in real BPF. The simulated VM has
+	// no memory loads, so programs access ctx through helpers; the register
+	// just participates in the verifier's init tracking.
+	regs[R1] = 1
+
+	ctx.SelectedIndex = -1
+	budget := len(p.insns) + 1
+	for pc := 0; pc < len(p.insns); {
+		if budget--; budget < 0 {
+			return 0, ErrBudget
+		}
+		in := p.insns[pc]
+		switch in.Op {
+		case OpMovImm:
+			regs[in.Dst] = in.Imm
+		case OpMovReg:
+			regs[in.Dst] = regs[in.Src]
+		case OpAddImm:
+			regs[in.Dst] += in.Imm
+		case OpAddReg:
+			regs[in.Dst] += regs[in.Src]
+		case OpSubImm:
+			regs[in.Dst] -= in.Imm
+		case OpSubReg:
+			regs[in.Dst] -= regs[in.Src]
+		case OpMulImm:
+			regs[in.Dst] *= in.Imm
+		case OpMulReg:
+			regs[in.Dst] *= regs[in.Src]
+		case OpAndImm:
+			regs[in.Dst] &= in.Imm
+		case OpAndReg:
+			regs[in.Dst] &= regs[in.Src]
+		case OpOrImm:
+			regs[in.Dst] |= in.Imm
+		case OpOrReg:
+			regs[in.Dst] |= regs[in.Src]
+		case OpXorImm:
+			regs[in.Dst] ^= in.Imm
+		case OpXorReg:
+			regs[in.Dst] ^= regs[in.Src]
+		case OpLshImm:
+			regs[in.Dst] <<= in.Imm & 63
+		case OpLshReg:
+			regs[in.Dst] <<= regs[in.Src] & 63
+		case OpRshImm:
+			regs[in.Dst] >>= in.Imm & 63
+		case OpRshReg:
+			regs[in.Dst] >>= regs[in.Src] & 63
+		case OpNeg:
+			regs[in.Dst] = -regs[in.Dst]
+		case OpLdMap:
+			// Map handles are encoded as slot+1 so that 0 is never a valid
+			// handle.
+			regs[in.Dst] = in.Imm + 1
+		case OpCall:
+			if err := p.call(HelperID(in.Imm), &regs, ctx); err != nil {
+				return 0, err
+			}
+		case OpJa:
+			pc += 1 + int(in.Off)
+			continue
+		case OpJeqImm:
+			if regs[in.Dst] == in.Imm {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJeqReg:
+			if regs[in.Dst] == regs[in.Src] {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJneImm:
+			if regs[in.Dst] != in.Imm {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJneReg:
+			if regs[in.Dst] != regs[in.Src] {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJgtImm:
+			if regs[in.Dst] > in.Imm {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJgtReg:
+			if regs[in.Dst] > regs[in.Src] {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJgeImm:
+			if regs[in.Dst] >= in.Imm {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJgeReg:
+			if regs[in.Dst] >= regs[in.Src] {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJltImm:
+			if regs[in.Dst] < in.Imm {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJltReg:
+			if regs[in.Dst] < regs[in.Src] {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJleImm:
+			if regs[in.Dst] <= in.Imm {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpJleReg:
+			if regs[in.Dst] <= regs[in.Src] {
+				pc += 1 + int(in.Off)
+				continue
+			}
+		case OpExit:
+			return regs[R0], nil
+		default:
+			return 0, fmt.Errorf("ebpf: unknown opcode %d at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+	return 0, fmt.Errorf("ebpf: fell off program end")
+}
+
+func (p *Program) mapFromHandle(h uint64) (Map, error) {
+	if h == 0 || int(h-1) >= len(p.maps) {
+		return nil, fmt.Errorf("ebpf: invalid map handle %d", h)
+	}
+	return p.maps[h-1], nil
+}
+
+func (p *Program) call(h HelperID, regs *[NumRegs]uint64, ctx *ReuseportCtx) error {
+	var r0 uint64
+	switch h {
+	case HelperMapLookupElem:
+		m, err := p.mapFromHandle(regs[R1])
+		if err != nil {
+			return err
+		}
+		am, ok := m.(*ArrayMap)
+		if !ok {
+			return fmt.Errorf("ebpf: map_lookup_elem on %s", m.Type())
+		}
+		v, ok := am.Lookup(uint32(regs[R2]))
+		if !ok {
+			return ErrMapMiss
+		}
+		r0 = v
+	case HelperGetHash:
+		r0 = uint64(ctx.Hash)
+	case HelperGetLocalityHash:
+		r0 = uint64(ctx.LocalityHash)
+	case HelperReciprocalScale:
+		r0 = uint64((regs[R1] & 0xffffffff) * (regs[R2] & 0xffffffff) >> 32)
+	case HelperSkSelectReuseport:
+		m, err := p.mapFromHandle(regs[R1])
+		if err != nil {
+			return err
+		}
+		sa, ok := m.(*SockArray)
+		if !ok {
+			return fmt.Errorf("ebpf: sk_select_reuseport on %s", m.Type())
+		}
+		idx := uint32(regs[R2])
+		ref := sa.Get(idx)
+		if ref == nil {
+			r0 = 1 // slot empty: signal failure, caller decides fallback
+		} else {
+			ctx.Selected = ref
+			ctx.SelectedIndex = int(idx)
+			r0 = 0
+		}
+	default:
+		return fmt.Errorf("ebpf: unknown helper %d", h)
+	}
+	// Clobber caller-saved registers as the verifier assumes.
+	for r := R1; r <= R5; r++ {
+		regs[r] = 0xdead_beef_dead_beef
+	}
+	regs[R0] = r0
+	return nil
+}

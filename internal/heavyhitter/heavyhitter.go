@@ -1,0 +1,131 @@
+// Package heavyhitter implements the anomaly-detection substrate behind
+// Appendix C's exception handling ("Hermes leverages anomaly detection
+// techniques to identify malicious traffic patterns"): a count-min sketch
+// with conservative update tracks per-tenant connection rates in O(1) space,
+// and a windowed detector flags tenants whose rate explodes relative to the
+// fleet (SYN-flood / Challenge Collapsar suspects) for sandbox migration.
+package heavyhitter
+
+import "fmt"
+
+// Sketch is a count-min sketch over uint32 keys with conservative update
+// (only the minimum counters grow), which tightens overestimation under
+// skewed traffic — the regime heavy hitters live in.
+type Sketch struct {
+	rows  int
+	width uint32
+	cells []uint32
+	seeds []uint32
+	// Total counts all increments.
+	Total uint64
+}
+
+// NewSketch creates a sketch with the given depth (rows) and width.
+func NewSketch(rows, width int) *Sketch {
+	if rows < 1 || width < 8 {
+		panic(fmt.Sprintf("heavyhitter: bad sketch shape %dx%d", rows, width))
+	}
+	s := &Sketch{rows: rows, width: uint32(width), cells: make([]uint32, rows*width)}
+	seed := uint32(0x9e3779b9)
+	for i := 0; i < rows; i++ {
+		seed = seed*2654435761 + 0x85ebca6b
+		s.seeds = append(s.seeds, seed|1)
+	}
+	return s
+}
+
+func (s *Sketch) idx(row int, key uint32) int {
+	h := key * s.seeds[row]
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 12
+	return row*int(s.width) + int(h%s.width)
+}
+
+// Add increments key's count by n using conservative update and returns the
+// new estimate.
+func (s *Sketch) Add(key uint32, n uint32) uint32 {
+	s.Total += uint64(n)
+	est := s.Estimate(key) + n
+	for r := 0; r < s.rows; r++ {
+		i := s.idx(r, key)
+		if s.cells[i] < est {
+			s.cells[i] = est
+		}
+	}
+	return est
+}
+
+// Estimate returns key's count estimate (never an underestimate).
+func (s *Sketch) Estimate(key uint32) uint32 {
+	min := uint32(1<<32 - 1)
+	for r := 0; r < s.rows; r++ {
+		if c := s.cells[s.idx(r, key)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Reset zeroes the sketch for the next window.
+func (s *Sketch) Reset() {
+	for i := range s.cells {
+		s.cells[i] = 0
+	}
+	s.Total = 0
+}
+
+// Detector flags keys whose per-window share of total arrivals exceeds
+// ShareThreshold once the window has seen at least MinTotal arrivals.
+// Windows are advanced explicitly (the caller ties them to virtual or wall
+// time).
+type Detector struct {
+	// ShareThreshold is the fraction of window traffic above which a key is
+	// a heavy hitter (e.g. 0.4: the paper reports top tenants at 40 %, so
+	// attack detection thresholds sit above normal skew).
+	ShareThreshold float64
+	// MinTotal gates detection until the window has enough samples.
+	MinTotal uint64
+
+	sketch  *Sketch
+	flagged map[uint32]bool
+	// OnDetect fires once per key per detector lifetime.
+	OnDetect func(key uint32, estimate uint32, total uint64)
+}
+
+// NewDetector creates a detector with a 4×1024 sketch.
+func NewDetector(share float64, minTotal uint64) *Detector {
+	if share <= 0 || share > 1 {
+		panic(fmt.Sprintf("heavyhitter: share threshold %v outside (0,1]", share))
+	}
+	return &Detector{
+		ShareThreshold: share,
+		MinTotal:       minTotal,
+		sketch:         NewSketch(4, 1024),
+		flagged:        make(map[uint32]bool),
+	}
+}
+
+// Observe records one arrival for key and runs detection.
+func (d *Detector) Observe(key uint32) {
+	est := d.sketch.Add(key, 1)
+	if d.sketch.Total < d.MinTotal || d.flagged[key] {
+		return
+	}
+	if float64(est) > d.ShareThreshold*float64(d.sketch.Total) {
+		d.flagged[key] = true
+		if d.OnDetect != nil {
+			d.OnDetect(key, est, d.sketch.Total)
+		}
+	}
+}
+
+// Flagged reports whether key has been detected.
+func (d *Detector) Flagged(key uint32) bool { return d.flagged[key] }
+
+// AdvanceWindow resets per-window counts (flags persist: a quarantined
+// tenant stays quarantined until the operator clears it).
+func (d *Detector) AdvanceWindow() { d.sketch.Reset() }
+
+// Clear un-flags a key (operator action after sandbox analysis).
+func (d *Detector) Clear(key uint32) { delete(d.flagged, key) }

@@ -1,0 +1,131 @@
+package heavyhitter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSketchNeverUnderestimates(t *testing.T) {
+	s := NewSketch(4, 256)
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint32]uint32{}
+	for i := 0; i < 50_000; i++ {
+		k := uint32(rng.Intn(500))
+		truth[k]++
+		s.Add(k, 1)
+	}
+	for k, want := range truth {
+		if got := s.Estimate(k); got < want {
+			t.Fatalf("key %d underestimated: %d < %d", k, got, want)
+		}
+	}
+	if s.Total != 50_000 {
+		t.Fatalf("Total = %d", s.Total)
+	}
+}
+
+func TestSketchAccurateOnSkew(t *testing.T) {
+	s := NewSketch(4, 1024)
+	// One elephant, many mice.
+	for i := 0; i < 10_000; i++ {
+		s.Add(7, 1)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10_000; i++ {
+		s.Add(uint32(1000+rng.Intn(5000)), 1)
+	}
+	est := s.Estimate(7)
+	if est < 10_000 || est > 11_000 {
+		t.Fatalf("elephant estimate %d, want ≈10000 (conservative update keeps error small)", est)
+	}
+	// Unseen key estimate is bounded by collision noise.
+	if got := s.Estimate(999_999); got > 200 {
+		t.Fatalf("unseen key estimate %d too high", got)
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := NewSketch(2, 64)
+	s.Add(1, 5)
+	s.Reset()
+	if s.Estimate(1) != 0 || s.Total != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestSketchBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSketch(0, 4)
+}
+
+func TestDetectorFlagsAttackNotSkew(t *testing.T) {
+	d := NewDetector(0.5, 1000)
+	var detected []uint32
+	d.OnDetect = func(key uint32, est uint32, total uint64) {
+		detected = append(detected, key)
+		if float64(est) <= 0.5*float64(total) {
+			t.Fatalf("detection below threshold: %d of %d", est, total)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Normal skewed phase: top tenant ~40% — below the attack threshold.
+	for i := 0; i < 5000; i++ {
+		switch {
+		case rng.Float64() < 0.4:
+			d.Observe(1)
+		default:
+			d.Observe(uint32(2 + rng.Intn(50)))
+		}
+	}
+	if len(detected) != 0 {
+		t.Fatalf("normal skew flagged: %v", detected)
+	}
+
+	// Attack phase: tenant 9 floods.
+	d.AdvanceWindow()
+	for i := 0; i < 5000; i++ {
+		if rng.Float64() < 0.8 {
+			d.Observe(9)
+		} else {
+			d.Observe(uint32(2 + rng.Intn(50)))
+		}
+	}
+	if len(detected) != 1 || detected[0] != 9 {
+		t.Fatalf("detected = %v, want [9]", detected)
+	}
+	if !d.Flagged(9) || d.Flagged(1) {
+		t.Fatal("flag state wrong")
+	}
+
+	// Flags survive window advance; Clear removes them.
+	d.AdvanceWindow()
+	if !d.Flagged(9) {
+		t.Fatal("flag lost on window advance")
+	}
+	d.Clear(9)
+	if d.Flagged(9) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestDetectorMinTotalGate(t *testing.T) {
+	d := NewDetector(0.5, 1_000_000)
+	for i := 0; i < 10_000; i++ {
+		d.Observe(1) // 100% share but window too small
+	}
+	if d.Flagged(1) {
+		t.Fatal("detection before MinTotal")
+	}
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	s := NewSketch(4, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint32(i%1000), 1)
+	}
+}

@@ -1,0 +1,279 @@
+// Package httpx is a small HTTP/1.1 request/response codec built for the L7
+// LB data path: incremental parsing from a byte buffer (so a proxy can feed
+// it partial reads), ordered headers, case-insensitive lookup, and
+// zero-dependency serialization. The paper's LB parses HTTP to route on
+// application-layer attributes (§2.1); this package is that substrate.
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse errors.
+var (
+	// ErrIncomplete reports that more bytes are needed to finish parsing.
+	ErrIncomplete = errors.New("httpx: need more data")
+	// ErrMalformed reports an unrecoverable syntax error.
+	ErrMalformed = errors.New("httpx: malformed message")
+)
+
+// MaxHeaderBytes bounds the header section (DoS guard).
+const MaxHeaderBytes = 64 << 10
+
+// Header is one name/value pair. Order is preserved.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Request is a parsed HTTP/1.1 request.
+type Request struct {
+	Method  string
+	Target  string
+	Proto   string
+	Headers []Header
+	Body    []byte
+}
+
+// Response is a parsed or constructed HTTP/1.1 response.
+type Response struct {
+	Status  int
+	Reason  string
+	Proto   string
+	Headers []Header
+	Body    []byte
+}
+
+// Get returns the first header with the given name, case-insensitively.
+func (r *Request) Get(name string) (string, bool) { return getHeader(r.Headers, name) }
+
+// Get returns the first header with the given name, case-insensitively.
+func (r *Response) Get(name string) (string, bool) { return getHeader(r.Headers, name) }
+
+func getHeader(hs []Header, name string) (string, bool) {
+	for _, h := range hs {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// Host returns the Host header ("" if absent).
+func (r *Request) Host() string {
+	v, _ := r.Get("Host")
+	return v
+}
+
+// Path returns the request target up to any query string.
+func (r *Request) Path() string {
+	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
+		return r.Target[:i]
+	}
+	return r.Target
+}
+
+// WantsKeepAlive reports whether the connection should persist after this
+// request (HTTP/1.1 defaults to keep-alive).
+func (r *Request) WantsKeepAlive() bool {
+	v, ok := r.Get("Connection")
+	if !ok {
+		return r.Proto != "HTTP/1.0"
+	}
+	return !strings.EqualFold(v, "close")
+}
+
+// ParseRequest parses one complete request from the front of data, returning
+// the request and the number of bytes consumed. It returns ErrIncomplete
+// when data holds only a prefix.
+func ParseRequest(data []byte) (*Request, int, error) {
+	headerEnd, err := findHeaderEnd(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := bytes.Split(data[:headerEnd], []byte("\r\n"))
+	if len(lines) == 0 {
+		return nil, 0, ErrMalformed
+	}
+	parts := strings.SplitN(string(lines[0]), " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: bad request line %q", ErrMalformed, lines[0])
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	var err2 error
+	req.Headers, err2 = parseHeaders(lines[1:])
+	if err2 != nil {
+		return nil, 0, err2
+	}
+	body, consumed, err := parseBody(data, headerEnd, req.Headers)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Body = body
+	return req, consumed, nil
+}
+
+// ParseResponse parses one complete response from the front of data.
+func ParseResponse(data []byte) (*Response, int, error) {
+	headerEnd, err := findHeaderEnd(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := bytes.Split(data[:headerEnd], []byte("\r\n"))
+	parts := strings.SplitN(string(lines[0]), " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, fmt.Errorf("%w: bad status line %q", ErrMalformed, lines[0])
+	}
+	status, errAtoi := strconv.Atoi(parts[1])
+	if errAtoi != nil || status < 100 || status > 999 {
+		return nil, 0, fmt.Errorf("%w: bad status %q", ErrMalformed, parts[1])
+	}
+	resp := &Response{Status: status, Proto: parts[0]}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	var err2 error
+	resp.Headers, err2 = parseHeaders(lines[1:])
+	if err2 != nil {
+		return nil, 0, err2
+	}
+	body, consumed, err := parseBody(data, headerEnd, resp.Headers)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp.Body = body
+	return resp, consumed, nil
+}
+
+// findHeaderEnd locates the start of the body (index just past CRLFCRLF).
+func findHeaderEnd(data []byte) (int, error) {
+	i := bytes.Index(data, []byte("\r\n\r\n"))
+	if i < 0 {
+		if len(data) > MaxHeaderBytes {
+			return 0, fmt.Errorf("%w: header section exceeds %d bytes", ErrMalformed, MaxHeaderBytes)
+		}
+		return 0, ErrIncomplete
+	}
+	if i > MaxHeaderBytes {
+		return 0, fmt.Errorf("%w: header section exceeds %d bytes", ErrMalformed, MaxHeaderBytes)
+	}
+	return i, nil
+}
+
+func parseHeaders(lines [][]byte) ([]Header, error) {
+	var hs []Header
+	for _, ln := range lines {
+		if len(ln) == 0 {
+			continue
+		}
+		i := bytes.IndexByte(ln, ':')
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: bad header line %q", ErrMalformed, ln)
+		}
+		name := string(ln[:i])
+		if strings.ContainsAny(name, " \t") {
+			return nil, fmt.Errorf("%w: space in header name %q", ErrMalformed, name)
+		}
+		hs = append(hs, Header{Name: name, Value: string(bytes.TrimSpace(ln[i+1:]))})
+	}
+	return hs, nil
+}
+
+func parseBody(data []byte, headerEnd int, hs []Header) (body []byte, consumed int, err error) {
+	bodyStart := headerEnd + 4
+	cl := 0
+	if v, ok := getHeader(hs, "Content-Length"); ok {
+		cl, err = strconv.Atoi(v)
+		if err != nil || cl < 0 {
+			return nil, 0, fmt.Errorf("%w: bad Content-Length %q", ErrMalformed, v)
+		}
+	}
+	if len(data) < bodyStart+cl {
+		return nil, 0, ErrIncomplete
+	}
+	if cl > 0 {
+		body = append([]byte(nil), data[bodyStart:bodyStart+cl]...)
+	}
+	return body, bodyStart + cl, nil
+}
+
+// Append serializes the request onto dst and returns the extended slice. A
+// Content-Length header is added if a body is present and none was set.
+func (r *Request) Append(dst []byte) []byte {
+	dst = append(dst, r.Method...)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Target...)
+	dst = append(dst, ' ')
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	dst = append(dst, proto...)
+	dst = append(dst, "\r\n"...)
+	dst = appendHeaders(dst, r.Headers, len(r.Body))
+	return append(dst, r.Body...)
+}
+
+// Append serializes the response onto dst and returns the extended slice.
+func (r *Response) Append(dst []byte) []byte {
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	reason := r.Reason
+	if reason == "" {
+		reason = defaultReason(r.Status)
+	}
+	dst = append(dst, proto...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(r.Status), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, reason...)
+	dst = append(dst, "\r\n"...)
+	dst = appendHeaders(dst, r.Headers, len(r.Body))
+	return append(dst, r.Body...)
+}
+
+func appendHeaders(dst []byte, hs []Header, bodyLen int) []byte {
+	haveCL := false
+	for _, h := range hs {
+		if strings.EqualFold(h.Name, "Content-Length") {
+			haveCL = true
+		}
+		dst = append(dst, h.Name...)
+		dst = append(dst, ": "...)
+		dst = append(dst, h.Value...)
+		dst = append(dst, "\r\n"...)
+	}
+	if bodyLen > 0 && !haveCL {
+		dst = append(dst, "Content-Length: "...)
+		dst = strconv.AppendInt(dst, int64(bodyLen), 10)
+		dst = append(dst, "\r\n"...)
+	}
+	return append(dst, "\r\n"...)
+}
+
+func defaultReason(status int) string {
+	switch status {
+	case 200:
+		return "OK"
+	case 204:
+		return "No Content"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 499:
+		return "Client Closed Request"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}

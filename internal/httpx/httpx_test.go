@@ -1,0 +1,234 @@
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleGET(t *testing.T) {
+	raw := []byte("GET /index.html?q=1 HTTP/1.1\r\nHost: example.com\r\nX-Tenant: t42\r\n\r\n")
+	req, n, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Fatalf("consumed %d of %d", n, len(raw))
+	}
+	if req.Method != "GET" || req.Target != "/index.html?q=1" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("request line: %+v", req)
+	}
+	if req.Host() != "example.com" {
+		t.Fatalf("host = %q", req.Host())
+	}
+	if req.Path() != "/index.html" {
+		t.Fatalf("path = %q", req.Path())
+	}
+	if v, ok := req.Get("x-tenant"); !ok || v != "t42" {
+		t.Fatalf("case-insensitive get: %q %v", v, ok)
+	}
+	if _, ok := req.Get("missing"); ok {
+		t.Fatal("missing header found")
+	}
+	if len(req.Body) != 0 {
+		t.Fatal("unexpected body")
+	}
+}
+
+func TestParsePOSTWithBody(t *testing.T) {
+	raw := []byte("POST /api HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhelloTRAILING")
+	req, n, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Body) != "hello" {
+		t.Fatalf("body = %q", req.Body)
+	}
+	if n != len(raw)-len("TRAILING") {
+		t.Fatalf("consumed %d", n)
+	}
+}
+
+func TestParsePipelined(t *testing.T) {
+	raw := []byte("GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n")
+	r1, n1, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, n2, err := ParseRequest(raw[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Target != "/a" || r2.Target != "/b" || n1+n2 != len(raw) {
+		t.Fatalf("pipelined parse: %q %q %d %d", r1.Target, r2.Target, n1, n2)
+	}
+}
+
+func TestParseIncomplete(t *testing.T) {
+	full := "POST /api HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody"
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ParseRequest([]byte(full[:cut]))
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("cut=%d: err = %v, want ErrIncomplete", cut, err)
+		}
+	}
+	if _, _, err := ParseRequest([]byte(full)); err != nil {
+		t.Fatalf("full parse: %v", err)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",                           // missing proto
+		" GET / HTTP/1.1\r\n\r\n",                 // leading space → empty method
+		"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n", // space in name
+		"GET / HTTP/1.1\r\nNoColon\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ParseRequest([]byte(c)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%q: err = %v, want ErrMalformed", c, err)
+		}
+	}
+}
+
+func TestHeaderSectionBound(t *testing.T) {
+	huge := "GET / HTTP/1.1\r\nX: " + strings.Repeat("a", MaxHeaderBytes+10)
+	if _, _, err := ParseRequest([]byte(huge)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized incomplete header: %v", err)
+	}
+	withEnd := "GET / HTTP/1.1\r\nX: " + strings.Repeat("a", MaxHeaderBytes+10) + "\r\n\r\n"
+	if _, _, err := ParseRequest([]byte(withEnd)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized complete header: %v", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "POST",
+		Target: "/submit",
+		Headers: []Header{
+			{Name: "Host", Value: "svc.internal"},
+			{Name: "X-Req-Id", Value: "7"},
+		},
+		Body: []byte("payload!"),
+	}
+	wire := req.Append(nil)
+	back, n, err := ParseRequest(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d of %d", n, len(wire))
+	}
+	if back.Method != "POST" || back.Target != "/submit" || back.Proto != "HTTP/1.1" {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if !bytes.Equal(back.Body, req.Body) {
+		t.Fatalf("body: %q", back.Body)
+	}
+	if v, _ := back.Get("Content-Length"); v != "8" {
+		t.Fatalf("auto Content-Length = %q", v)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{Status: 200, Body: []byte("ok"), Headers: []Header{{Name: "Server", Value: "hermes-lb"}}}
+	wire := resp.Append(nil)
+	back, n, err := ParseResponse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) || back.Status != 200 || back.Reason != "OK" || string(back.Body) != "ok" {
+		t.Fatalf("round trip: %+v (n=%d)", back, n)
+	}
+	if v, ok := back.Get("server"); !ok || v != "hermes-lb" {
+		t.Fatalf("server header: %q %v", v, ok)
+	}
+}
+
+func TestResponseStatusLineVariants(t *testing.T) {
+	if _, _, err := ParseResponse([]byte("HTTP/1.1 204 No Content\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParseResponse([]byte("NOTHTTP 200 OK\r\n\r\n")); !errors.Is(err, ErrMalformed) {
+		t.Fatal("bad proto accepted")
+	}
+	if _, _, err := ParseResponse([]byte("HTTP/1.1 9999 Weird\r\n\r\n")); !errors.Is(err, ErrMalformed) {
+		t.Fatal("bad status accepted")
+	}
+}
+
+func TestKeepAliveSemantics(t *testing.T) {
+	mk := func(proto, conn string) *Request {
+		r := &Request{Method: "GET", Target: "/", Proto: proto}
+		if conn != "" {
+			r.Headers = []Header{{Name: "Connection", Value: conn}}
+		}
+		return r
+	}
+	cases := []struct {
+		r    *Request
+		want bool
+	}{
+		{mk("HTTP/1.1", ""), true},
+		{mk("HTTP/1.0", ""), false},
+		{mk("HTTP/1.1", "close"), false},
+		{mk("HTTP/1.1", "keep-alive"), true},
+		{mk("HTTP/1.0", "keep-alive"), true},
+	}
+	for i, c := range cases {
+		if got := c.r.WantsKeepAlive(); got != c.want {
+			t.Errorf("case %d: keep-alive = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDefaultReasons(t *testing.T) {
+	for status, frag := range map[int]string{200: "OK", 404: "Not Found", 499: "Client Closed", 777: "Status"} {
+		wire := (&Response{Status: status}).Append(nil)
+		if !bytes.Contains(wire, []byte(frag)) {
+			t.Errorf("status %d: %q missing %q", status, wire, frag)
+		}
+	}
+}
+
+// Property: serialize→parse is the identity on well-formed requests.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(pathSeed uint16, body []byte) bool {
+		req := &Request{
+			Method:  "PUT",
+			Target:  "/x" + strings.Repeat("a", int(pathSeed%50)),
+			Headers: []Header{{Name: "Host", Value: "h"}},
+			Body:    body,
+		}
+		wire := req.Append(nil)
+		back, n, err := ParseRequest(wire)
+		if err != nil || n != len(wire) {
+			return false
+		}
+		return back.Target == req.Target && bytes.Equal(back.Body, req.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseRequest(b *testing.B) {
+	raw := (&Request{
+		Method:  "GET",
+		Target:  "/api/v1/items",
+		Headers: []Header{{Name: "Host", Value: "svc"}, {Name: "Accept", Value: "*/*"}},
+	}).Append(nil)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ParseRequest(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

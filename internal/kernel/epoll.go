@@ -1,0 +1,243 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/sim"
+)
+
+// EventKind classifies an epoll event for the application.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvAccept: a listening socket has completed connections to accept.
+	EvAccept EventKind = iota
+	// EvReadable: a connection socket has unread request data.
+	EvReadable
+	// EvHangup: the peer closed and all data has been read.
+	EvHangup
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAccept:
+		return "accept"
+	case EvReadable:
+		return "readable"
+	case EvHangup:
+		return "hangup"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the batch returned by an epoll wait.
+type Event struct {
+	Kind EventKind
+	Sock *Socket
+}
+
+// watch ties one epoll instance to one socket. It doubles as the socket
+// wait-queue entry (order in Socket.watchers is the wait-queue order) and as
+// the epoll interest-list entry.
+type watch struct {
+	ep      *Epoll
+	sock    *Socket
+	inReady bool
+	// et marks edge-triggered registration (EPOLLET): the watch is armed
+	// only by readiness *edges* (socketReady events); once collected it
+	// leaves the ready list even if data remains, so the worker must drain
+	// completely — the discipline whose failure mode is the worker hang of
+	// Appendix C case 1.
+	et bool
+}
+
+// waiter represents a worker blocked in an epoll wait.
+type waiter struct {
+	maxEvents int
+	fn        func([]Event)
+	timer     *sim.Timer
+}
+
+// Epoll simulates one epoll instance, owned by exactly one worker (the
+// paper's workers each run a private instance; shared listen sockets are
+// what couple them). Wait is asynchronous: the callback fires on the virtual
+// clock when events are ready or the timeout lapses.
+type Epoll struct {
+	ID int
+
+	ns        *NetStack
+	interest  map[*Socket]*watch
+	readyList []*watch
+	waiter    *waiter
+
+	// Stats for Figs. 4, 5.
+	Waits            uint64 // completed epoll_wait calls
+	Timeouts         uint64 // waits that returned on timeout with no events
+	SpuriousWakeups  uint64 // woken with zero events (thundering herd waste)
+	EventsDelivered  uint64 // total events returned
+	LastBlockStartNS int64  // when the current/last block began
+}
+
+// Add registers a socket with this epoll instance (EPOLL_CTL_ADD) in
+// level-triggered mode. The exclusive-vs-herd wakeup discipline is a
+// NetStack-wide mode, matching the deployment choices the paper compares.
+func (ep *Epoll) Add(s *Socket) { ep.add(s, false) }
+
+// AddET registers a socket in edge-triggered mode (EPOLLET): events fire on
+// readiness transitions only, and the worker must drain the socket fully or
+// it will never be notified again — Nginx's discipline, and the mechanism
+// behind the buffer-draining worker hangs of Appendix C.
+func (ep *Epoll) AddET(s *Socket) { ep.add(s, true) }
+
+func (ep *Epoll) add(s *Socket, et bool) {
+	if _, dup := ep.interest[s]; dup {
+		panic(fmt.Sprintf("kernel: epoll %d already watches socket %d", ep.ID, s.ID))
+	}
+	w := &watch{ep: ep, sock: s, et: et}
+	ep.interest[s] = w
+	s.addWatch(w)
+	if s.ready() {
+		ep.markReady(w)
+	}
+}
+
+// Del removes a socket (EPOLL_CTL_DEL).
+func (ep *Epoll) Del(s *Socket) {
+	w, ok := ep.interest[s]
+	if !ok {
+		return
+	}
+	delete(ep.interest, s)
+	s.removeWatch(w)
+	if w.inReady {
+		for i, x := range ep.readyList {
+			if x == w {
+				ep.readyList = append(ep.readyList[:i], ep.readyList[i+1:]...)
+				break
+			}
+		}
+		w.inReady = false
+	}
+}
+
+// Watches returns the number of sockets in the interest list.
+func (ep *Epoll) Watches() int { return len(ep.interest) }
+
+func (ep *Epoll) markReady(w *watch) {
+	if !w.inReady {
+		w.inReady = true
+		ep.readyList = append(ep.readyList, w)
+	}
+}
+
+// collect drains up to max events from ready sockets (level-triggered: a
+// socket that stays ready is kept on the ready list for the next wait).
+func (ep *Epoll) collect(max int) []Event {
+	if max <= 0 {
+		max = 1
+	}
+	var evs []Event
+	var emitted []*watch
+	rest := ep.readyList[:0]
+	for _, w := range ep.readyList {
+		if len(evs) >= max {
+			rest = append(rest, w)
+			continue
+		}
+		s := w.sock
+		if !s.ready() {
+			w.inReady = false
+			continue
+		}
+		switch {
+		case s.Listening:
+			evs = append(evs, Event{Kind: EvAccept, Sock: s})
+		case len(s.pending) > 0:
+			evs = append(evs, Event{Kind: EvReadable, Sock: s})
+		default: // hup with no pending data
+			evs = append(evs, Event{Kind: EvHangup, Sock: s})
+		}
+		if w.et {
+			// Edge-triggered: collected once per edge; the socket drops off
+			// the ready list even if data remains.
+			w.inReady = false
+			continue
+		}
+		emitted = append(emitted, w)
+	}
+	// Level-triggered: serviced sockets stay on the list but rotate to the
+	// tail (as Linux requeues LT fds) so unserviced ready sockets are not
+	// starved when batches are capped by maxEvents.
+	ep.readyList = append(rest, emitted...)
+	return evs
+}
+
+// Wait models epoll_wait(maxEvents, timeout). The callback receives the
+// event batch — possibly empty on timeout or spurious wakeup — on the
+// virtual clock. A worker must not have two Waits outstanding.
+func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
+	if ep.waiter != nil {
+		panic(fmt.Sprintf("kernel: epoll %d has a Wait outstanding", ep.ID))
+	}
+	ep.LastBlockStartNS = ep.ns.eng.Now()
+
+	if evs := ep.collect(maxEvents); len(evs) > 0 {
+		ep.Waits++
+		ep.EventsDelivered += uint64(len(evs))
+		ep.ns.eng.At(ep.ns.eng.Now(), func() { fn(evs) })
+		return
+	}
+	if timeout == 0 {
+		ep.Waits++
+		ep.ns.eng.At(ep.ns.eng.Now(), func() { fn(nil) })
+		return
+	}
+
+	w := &waiter{maxEvents: maxEvents, fn: fn}
+	ep.waiter = w
+	if timeout > 0 {
+		w.timer = ep.ns.eng.After(timeout, func() {
+			if ep.waiter != w {
+				return
+			}
+			ep.waiter = nil
+			ep.Waits++
+			ep.Timeouts++
+			fn(nil)
+		})
+	}
+}
+
+// Blocked reports whether the owning worker is blocked in a Wait — the
+// "idle" test the exclusive wakeup walk applies (§2.2, Fig. A2).
+func (ep *Epoll) Blocked() bool { return ep.waiter != nil }
+
+// Kick wakes the blocked waiter with whatever is ready (possibly nothing) —
+// an eventfd-style userspace signal, used e.g. to hand off the accept mutex
+// to a sleeping worker. No-op if the worker is not blocked.
+func (ep *Epoll) Kick() { ep.wake() }
+
+// wake unblocks the waiter, delivering whatever is ready at delivery time.
+// If another worker drained the sockets first, the wakeup is spurious and
+// the callback receives an empty batch (counted: this is the thundering
+// herd's wasted CPU).
+func (ep *Epoll) wake() {
+	w := ep.waiter
+	if w == nil {
+		return
+	}
+	ep.waiter = nil
+	w.timer.Cancel()
+	ep.ns.eng.At(ep.ns.eng.Now(), func() {
+		evs := ep.collect(w.maxEvents)
+		ep.Waits++
+		ep.EventsDelivered += uint64(len(evs))
+		if len(evs) == 0 {
+			ep.SpuriousWakeups++
+		}
+		w.fn(evs)
+	})
+}

@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes/internal/sim"
+)
+
+// Random-operation invariant test: an arbitrary interleaving of listens,
+// SYNs, data, FINs, accepts, closes, and epoll waits must never panic, and
+// conservation must hold: every established connection is exactly one of
+// {queued for accept, accepted-and-open, closed}.
+func TestFuzzNetstackInvariants(t *testing.T) {
+	for _, mode := range []WakeMode{WakeHerd, WakeExclusiveLIFO, WakeExclusiveRR, WakeExclusiveFIFO} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(mode) + 77))
+			eng := sim.NewEngine(int64(mode) + 1)
+			ns := NewNetStack(eng, mode)
+
+			var (
+				listeners []*Socket
+				groups    []*ReuseportGroup
+				eps       []*Epoll
+				conns     []*Conn
+				accepted  []*Conn
+				closed    int
+			)
+			nextPort := uint16(1000)
+
+			for step := 0; step < 8000; step++ {
+				switch rng.Intn(12) {
+				case 0: // new shared listener + register with a random epoll
+					s, err := ns.ListenShared(nextPort, 1+rng.Intn(32))
+					nextPort++
+					if err != nil {
+						t.Fatal(err)
+					}
+					listeners = append(listeners, s)
+				case 1: // new reuseport group
+					g, err := ns.ListenReuseport(nextPort, 1+rng.Intn(4), 1+rng.Intn(32))
+					nextPort++
+					if err != nil {
+						t.Fatal(err)
+					}
+					groups = append(groups, g)
+					listeners = append(listeners, g.Sockets()...)
+				case 2: // new epoll watching random listeners
+					ep := ns.NewEpoll()
+					eps = append(eps, ep)
+					for _, s := range listeners {
+						if rng.Intn(3) == 0 && !s.Closed() {
+							func() {
+								defer func() { recover() }() // duplicate Add panics by contract
+								ep.Add(s)
+							}()
+						}
+					}
+				case 3, 4, 5: // SYN to a random bound port
+					if nextPort == 1000 {
+						continue
+					}
+					port := 1000 + uint16(rng.Intn(int(nextPort-1000)))
+					c, ok := ns.DeliverSYN(FourTuple{
+						SrcIP: rng.Uint32(), SrcPort: uint16(rng.Intn(65536)),
+						DstIP: 1, DstPort: port,
+					}, nil)
+					if ok {
+						conns = append(conns, c)
+					}
+				case 6: // accept from a random listener
+					if len(listeners) == 0 {
+						continue
+					}
+					s := listeners[rng.Intn(len(listeners))]
+					if s.Closed() {
+						continue
+					}
+					if c, ok := s.Accept(); ok {
+						accepted = append(accepted, c)
+					}
+				case 7: // deliver data on a random conn
+					if len(conns) == 0 {
+						continue
+					}
+					ns.DeliverData(conns[rng.Intn(len(conns))], step)
+				case 8: // FIN a random conn
+					if len(conns) == 0 {
+						continue
+					}
+					ns.DeliverFIN(conns[rng.Intn(len(conns))])
+				case 9: // close a random accepted conn socket
+					if len(accepted) == 0 {
+						continue
+					}
+					i := rng.Intn(len(accepted))
+					if !accepted[i].Sock().Closed() {
+						ns.CloseSocket(accepted[i].Sock())
+						closed++
+					}
+				case 10: // a random epoll waits with zero timeout (poll)
+					if len(eps) == 0 {
+						continue
+					}
+					ep := eps[rng.Intn(len(eps))]
+					if !ep.Blocked() {
+						ep.Wait(1+rng.Intn(8), 0, func(evs []Event) {
+							for _, ev := range evs {
+								// Consume some events to churn state.
+								if ev.Kind == EvReadable {
+									ev.Sock.PopData()
+								}
+							}
+						})
+					}
+				case 11: // advance virtual time
+					eng.RunFor(time.Duration(rng.Intn(1000)) * time.Microsecond)
+				}
+			}
+			eng.RunFor(100 * time.Millisecond)
+
+			// Conservation: established = still queued + accepted (some of
+			// which were closed) — no connection may vanish.
+			queued := 0
+			for _, s := range listeners {
+				queued += s.QueueLen()
+			}
+			if uint64(queued+len(accepted)) != ns.ConnsEstablished {
+				t.Fatalf("conservation broken: queued %d + accepted %d != established %d",
+					queued, len(accepted), ns.ConnsEstablished)
+			}
+			// Accepted connections carry valid timestamps.
+			for _, c := range accepted {
+				if c.AcceptedNS < c.EstablishedNS {
+					t.Fatalf("accept before establish: %+v", c)
+				}
+			}
+			_ = closed
+		})
+	}
+}

@@ -1,0 +1,261 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hermes/internal/sim"
+)
+
+// WakeMode selects the wait-queue wakeup discipline for shared listening
+// sockets — the three epoll behaviours §2.2 compares.
+type WakeMode uint8
+
+// Wakeup disciplines.
+const (
+	// WakeHerd wakes every blocked watcher (pre-4.5 epoll): the thundering
+	// herd. Only one wakee wins the connection; the rest burn a spurious
+	// wakeup.
+	WakeHerd WakeMode = iota
+	// WakeExclusiveLIFO wakes the first blocked watcher from the wait-queue
+	// head (EPOLLEXCLUSIVE). Because epoll_ctl inserts at the head, the most
+	// recently registered non-busy worker is always preferred: the LIFO
+	// concentration the paper measures.
+	WakeExclusiveLIFO
+	// WakeExclusiveRR is the unmerged epoll-rr patch: exclusive wakeup, but
+	// the woken watcher is moved to the wait-queue tail.
+	WakeExclusiveRR
+	// WakeExclusiveFIFO wakes the first blocked watcher from the wait-queue
+	// tail — io_uring's default interrupt-mode discipline (§8: "similar to
+	// epoll, but in FIFO order"), which concentrates load on the
+	// earliest-registered workers instead of the latest.
+	WakeExclusiveFIFO
+)
+
+func (m WakeMode) String() string {
+	switch m {
+	case WakeHerd:
+		return "herd"
+	case WakeExclusiveLIFO:
+		return "exclusive"
+	case WakeExclusiveRR:
+		return "exclusive-rr"
+	case WakeExclusiveFIFO:
+		return "exclusive-fifo"
+	default:
+		return fmt.Sprintf("WakeMode(%d)", uint8(m))
+	}
+}
+
+// NetStack owns all sockets, ports, and epoll instances of one simulated
+// machine, and implements connection arrival, data delivery, and wakeups.
+type NetStack struct {
+	// Mode is the wakeup discipline for shared listening sockets.
+	Mode WakeMode
+
+	eng         *sim.Engine
+	shared      map[uint16]*Socket
+	groups      map[uint16]*ReuseportGroup
+	nextSockID  int
+	nextConnID  uint64
+	nextEpollID int
+
+	// SynDrops counts connections refused for lack of a listener or
+	// accept-queue overflow.
+	SynDrops uint64
+	// ConnsEstablished counts successfully queued connections.
+	ConnsEstablished uint64
+}
+
+// DefaultAcceptBacklog is the accept-queue capacity used when callers pass
+// backlog ≤ 0 (listen(2)'s somaxconn role).
+const DefaultAcceptBacklog = 1024
+
+// NewNetStack creates a stack on the given engine.
+func NewNetStack(eng *sim.Engine, mode WakeMode) *NetStack {
+	return &NetStack{
+		Mode:   mode,
+		eng:    eng,
+		shared: make(map[uint16]*Socket),
+		groups: make(map[uint16]*ReuseportGroup),
+	}
+}
+
+// Engine returns the virtual clock this stack runs on.
+func (ns *NetStack) Engine() *sim.Engine { return ns.eng }
+
+func (ns *NetStack) newSocket(port uint16, listening bool, backlog int) *Socket {
+	if backlog <= 0 {
+		backlog = DefaultAcceptBacklog
+	}
+	ns.nextSockID++
+	return &Socket{
+		ID:        ns.nextSockID,
+		Port:      port,
+		Listening: listening,
+		acceptCap: backlog,
+		ns:        ns,
+	}
+}
+
+// ListenShared binds one listening socket to port, to be registered with
+// multiple workers' epoll instances (the epoll-exclusive deployment).
+func (ns *NetStack) ListenShared(port uint16, backlog int) (*Socket, error) {
+	if err := ns.checkPortFree(port); err != nil {
+		return nil, err
+	}
+	s := ns.newSocket(port, true, backlog)
+	ns.shared[port] = s
+	return s, nil
+}
+
+// ListenReuseport binds n SO_REUSEPORT sockets to port, one per worker (the
+// reuseport and Hermes deployments).
+func (ns *NetStack) ListenReuseport(port uint16, n, backlog int) (*ReuseportGroup, error) {
+	if err := ns.checkPortFree(port); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("kernel: reuseport group needs ≥1 sockets, got %d", n)
+	}
+	g := &ReuseportGroup{Port: port, ns: ns}
+	for i := 0; i < n; i++ {
+		s := ns.newSocket(port, true, backlog)
+		s.group = g
+		g.socks = append(g.socks, s)
+	}
+	ns.groups[port] = g
+	return g, nil
+}
+
+func (ns *NetStack) checkPortFree(port uint16) error {
+	if _, ok := ns.shared[port]; ok {
+		return fmt.Errorf("kernel: port %d already bound (shared)", port)
+	}
+	if _, ok := ns.groups[port]; ok {
+		return fmt.Errorf("kernel: port %d already bound (reuseport)", port)
+	}
+	return nil
+}
+
+// Group returns the reuseport group bound to port, if any.
+func (ns *NetStack) Group(port uint16) *ReuseportGroup { return ns.groups[port] }
+
+// SharedSocket returns the shared listening socket bound to port, if any.
+func (ns *NetStack) SharedSocket(port uint16) *Socket { return ns.shared[port] }
+
+// NewEpoll creates an epoll instance (epoll_create).
+func (ns *NetStack) NewEpoll() *Epoll {
+	ns.nextEpollID++
+	return &Epoll{ID: ns.nextEpollID, ns: ns, interest: make(map[*Socket]*watch)}
+}
+
+// DeliverSYN completes a handshake for a connection to tuple.DstPort: the
+// kernel selects a listening socket (reuseport hash / attached program /
+// shared socket), creates the connection socket, and queues it for accept.
+// Returns ok=false if there is no listener or the accept queue overflowed.
+func (ns *NetStack) DeliverSYN(tuple FourTuple, meta any) (*Conn, bool) {
+	var target *Socket
+	if g, ok := ns.groups[tuple.DstPort]; ok {
+		target = g.selectSocket(tuple.Hash(), tuple.LocalityHash())
+	} else if s, ok := ns.shared[tuple.DstPort]; ok {
+		target = s
+	} else {
+		ns.SynDrops++
+		return nil, false
+	}
+
+	ns.nextConnID++
+	c := &Conn{
+		ID:            ConnID(ns.nextConnID),
+		Tuple:         tuple,
+		Hash:          tuple.Hash(),
+		EstablishedNS: ns.eng.Now(),
+		AcceptedNS:    -1,
+		Meta:          meta,
+	}
+	cs := ns.newSocket(tuple.DstPort, false, 0)
+	cs.conn = c
+	c.sock = cs
+
+	if !target.enqueueConn(c) {
+		ns.SynDrops++
+		return nil, false
+	}
+	ns.ConnsEstablished++
+	return c, true
+}
+
+// DeliverData makes payload readable on an established connection. Data
+// arriving for a closed connection is silently dropped (peer will see RST in
+// a real stack).
+func (ns *NetStack) DeliverData(c *Conn, payload any) {
+	s := c.sock
+	if s.closed {
+		return
+	}
+	s.pending = append(s.pending, payload)
+	ns.socketReady(s)
+}
+
+// DeliverFIN marks the peer side of the connection closed.
+func (ns *NetStack) DeliverFIN(c *Conn) {
+	s := c.sock
+	if s.closed || s.hup {
+		return
+	}
+	s.hup = true
+	ns.socketReady(s)
+}
+
+// CloseSocket closes a socket from the worker side, deregistering it from
+// every epoll instance watching it (close(2) removes epoll registrations).
+func (ns *NetStack) CloseSocket(s *Socket) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for len(s.watchers) > 0 {
+		s.watchers[0].ep.Del(s)
+	}
+	if s.Listening && s.group == nil {
+		delete(ns.shared, s.Port)
+	}
+}
+
+// socketReady records readiness in every watching epoll and applies the
+// wakeup discipline.
+func (ns *NetStack) socketReady(s *Socket) {
+	for _, w := range s.watchers {
+		w.ep.markReady(w)
+	}
+	switch ns.Mode {
+	case WakeHerd:
+		// Snapshot: wakes may mutate nothing here, but stay safe.
+		ws := append([]*watch(nil), s.watchers...)
+		for _, w := range ws {
+			w.ep.wake()
+		}
+	case WakeExclusiveLIFO:
+		for _, w := range s.watchers {
+			if w.ep.Blocked() {
+				w.ep.wake()
+				return
+			}
+		}
+	case WakeExclusiveRR:
+		for _, w := range s.watchers {
+			if w.ep.Blocked() {
+				w.ep.wake()
+				s.moveWatchToTail(w)
+				return
+			}
+		}
+	case WakeExclusiveFIFO:
+		for i := len(s.watchers) - 1; i >= 0; i-- {
+			if w := s.watchers[i]; w.ep.Blocked() {
+				w.ep.wake()
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hermes/internal/bitops"
+	"hermes/internal/ebpf"
+)
+
+// ReuseportGroup models a set of SO_REUSEPORT sockets bound to one port.
+// With no program attached, incoming connections are spread by stateless
+// hashing of the 4-tuple (reciprocal_scale over the member count), which is
+// the Linux 3.9 behaviour the paper's reuseport baseline uses. A simulated
+// eBPF program attached via AttachProgram — the SO_ATTACH_REUSEPORT_EBPF
+// hook — overrides the selection; if the program declines, errs, or picks an
+// invalid socket, the group falls back to hashing, exactly the fallback
+// Hermes relies on when too few workers pass the coarse filter (§5.3.2).
+type ReuseportGroup struct {
+	Port uint16
+
+	ns    *NetStack
+	socks []*Socket
+
+	prog     *ebpf.Program
+	selectFn func(hash, localityHash uint32) (*Socket, bool)
+
+	// Dispatch outcome counters.
+	ProgDispatched uint64 // program selected a valid member socket
+	HashDispatched uint64 // plain hash (no override attached)
+	Fallbacks      uint64 // override declined or picked an invalid socket
+	ProgErrors     uint64 // program execution errors (also fall back)
+}
+
+// Sockets returns the member sockets in bind order (socket i belongs to
+// worker i in the Hermes deployment).
+func (g *ReuseportGroup) Sockets() []*Socket { return g.socks }
+
+// AttachProgram installs a verified eBPF program as the socket selector.
+// Any previously attached selector is replaced.
+func (g *ReuseportGroup) AttachProgram(p *ebpf.Program) {
+	g.prog = p
+	g.selectFn = nil
+}
+
+// AttachNative installs a Go-native selector with the same contract as an
+// eBPF program (production runs the program JIT-compiled; the native path is
+// its stand-in for hot benchmarks and ablations). fn returns ok=false to
+// request hash fallback.
+func (g *ReuseportGroup) AttachNative(fn func(hash, localityHash uint32) (*Socket, bool)) {
+	g.selectFn = fn
+	g.prog = nil
+}
+
+// Detach removes any attached selector, restoring pure hash dispatch.
+func (g *ReuseportGroup) Detach() {
+	g.prog = nil
+	g.selectFn = nil
+}
+
+// hashPick is the default reuseport selection.
+func (g *ReuseportGroup) hashPick(hash uint32) *Socket {
+	return g.socks[bitops.ReciprocalScale(hash, uint32(len(g.socks)))]
+}
+
+// selectSocket runs the dispatch decision for one incoming connection.
+func (g *ReuseportGroup) selectSocket(hash, localityHash uint32) *Socket {
+	switch {
+	case g.prog != nil:
+		ctx := ebpf.ReuseportCtx{Hash: hash, LocalityHash: localityHash}
+		r0, err := g.prog.Run(&ctx)
+		if err != nil {
+			g.ProgErrors++
+			return g.hashPick(hash)
+		}
+		if r0 == 0 && ctx.Selected != nil {
+			if s, ok := ctx.Selected.(*Socket); ok && s.group == g && !s.closed {
+				g.ProgDispatched++
+				return s
+			}
+		}
+		g.Fallbacks++
+		return g.hashPick(hash)
+	case g.selectFn != nil:
+		if s, ok := g.selectFn(hash, localityHash); ok && s != nil && s.group == g && !s.closed {
+			g.ProgDispatched++
+			return s
+		}
+		g.Fallbacks++
+		return g.hashPick(hash)
+	default:
+		g.HashDispatched++
+		return g.hashPick(hash)
+	}
+}
+
+// BuildSockArray fills an ebpf.SockArray with this group's sockets, slot i →
+// socket i, modelling the M_socket map Hermes populates at initialization
+// (§5.4 "Reuseport socket selection").
+func (g *ReuseportGroup) BuildSockArray() (*ebpf.SockArray, error) {
+	sa := ebpf.NewSockArray(len(g.socks))
+	for i, s := range g.socks {
+		if err := sa.Put(uint32(i), s); err != nil {
+			return nil, fmt.Errorf("kernel: populate sockarray: %w", err)
+		}
+	}
+	return sa, nil
+}

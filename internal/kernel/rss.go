@@ -1,0 +1,32 @@
+package kernel
+
+import "hermes/internal/bitops"
+
+// RSS models NIC receive-side scaling: packets are hashed by 5-tuple onto a
+// fixed set of hardware queues, one per CPU core. The paper's Fig. 7 uses
+// this to show why NIC-level balancing is insufficient for L7: packets land
+// evenly on queues, yet per-core CPU is wildly uneven because connection
+// *processing cost* varies, which RSS cannot see (§3).
+type RSS struct {
+	// Packets counts packets steered to each queue.
+	Packets []uint64
+	// Bytes counts payload bytes steered to each queue.
+	Bytes []uint64
+}
+
+// NewRSS creates an RSS engine with n queues.
+func NewRSS(n int) *RSS {
+	return &RSS{Packets: make([]uint64, n), Bytes: make([]uint64, n)}
+}
+
+// Queues returns the queue count.
+func (r *RSS) Queues() int { return len(r.Packets) }
+
+// Steer assigns a packet with the given flow hash and size to a queue and
+// returns the queue index.
+func (r *RSS) Steer(hash uint32, size int) int {
+	q := int(bitops.ReciprocalScale(hash, uint32(len(r.Packets))))
+	r.Packets[q]++
+	r.Bytes[q] += uint64(size)
+	return q
+}

@@ -1,0 +1,151 @@
+package kernel
+
+import "fmt"
+
+// ConnID identifies a simulated connection.
+type ConnID uint64
+
+// Conn is an established TCP connection. It is created when the simulated
+// three-way handshake completes (SYN delivery in this model) and lives until
+// the worker closes its socket.
+type Conn struct {
+	ID    ConnID
+	Tuple FourTuple
+	Hash  uint32 // precomputed 4-tuple hash
+	// EstablishedNS is the virtual time the handshake completed.
+	EstablishedNS int64
+	// AcceptedNS is the virtual time a worker accepted the connection
+	// (-1 until then). AcceptedNS-EstablishedNS is accept-queue delay.
+	AcceptedNS int64
+	// Meta carries opaque application/workload data (e.g. request cost
+	// model parameters) through the kernel untouched.
+	Meta any
+
+	sock *Socket // the connection socket sitting in / popped from an accept queue
+}
+
+// Sock returns the connection socket created at handshake completion. The
+// same socket object is what Accept hands to the worker, mirroring how a
+// real accept() returns an fd for an already-existing kernel socket.
+func (c *Conn) Sock() *Socket { return c.sock }
+
+// Socket is a simulated kernel socket: either a listening socket with an
+// accept queue, or an established connection socket with a pending-data
+// queue. Epoll instances register on sockets via watches.
+type Socket struct {
+	ID        int
+	Port      uint16
+	Listening bool
+
+	ns    *NetStack
+	group *ReuseportGroup // reuseport membership, nil for shared/conn sockets
+
+	// Listening sockets: completed connections waiting for accept().
+	acceptQ   []*Conn
+	acceptCap int
+	// Drops counts connections dropped on accept-queue overflow (SYN flood
+	// / overload behaviour).
+	Drops uint64
+	// Accepted counts connections dequeued by accept().
+	Accepted uint64
+
+	// Connection sockets.
+	conn    *Conn
+	pending []any // arrived-but-unread request payloads
+	hup     bool  // peer closed
+	closed  bool
+
+	// watchers are epoll registrations in wait-queue order: index 0 is the
+	// list head. epoll_ctl prepends (head insertion), which is what gives
+	// EPOLLEXCLUSIVE its LIFO bias (§2.2).
+	watchers []*watch
+}
+
+// Conn returns the connection of a connection socket (nil for listeners).
+func (s *Socket) Conn() *Conn { return s.conn }
+
+// QueueLen returns the current accept-queue depth (listening sockets).
+func (s *Socket) QueueLen() int { return len(s.acceptQ) }
+
+// PendingData returns the number of unread payloads (connection sockets).
+func (s *Socket) PendingData() int { return len(s.pending) }
+
+// Closed reports whether the worker has closed this socket.
+func (s *Socket) Closed() bool { return s.closed }
+
+// ready reports level-triggered readiness.
+func (s *Socket) ready() bool {
+	if s.closed {
+		return false
+	}
+	if s.Listening {
+		return len(s.acceptQ) > 0
+	}
+	return len(s.pending) > 0 || s.hup
+}
+
+// Accept dequeues the oldest completed connection, returning its connection
+// socket, or ok=false if the queue is empty (EAGAIN). Mirrors accept(2) on a
+// non-blocking listener.
+func (s *Socket) Accept() (*Conn, bool) {
+	if !s.Listening {
+		panic(fmt.Sprintf("kernel: Accept on non-listening socket %d", s.ID))
+	}
+	if len(s.acceptQ) == 0 {
+		return nil, false
+	}
+	c := s.acceptQ[0]
+	s.acceptQ = s.acceptQ[1:]
+	s.Accepted++
+	c.AcceptedNS = s.ns.eng.Now()
+	return c, true
+}
+
+// PopData dequeues one pending payload from a connection socket.
+func (s *Socket) PopData() (any, bool) {
+	if len(s.pending) == 0 {
+		return nil, false
+	}
+	p := s.pending[0]
+	s.pending = s.pending[1:]
+	return p, true
+}
+
+// Hup reports whether the peer has closed the connection.
+func (s *Socket) Hup() bool { return s.hup }
+
+// enqueueConn places a completed connection on the accept queue, waking
+// waiters. Returns false on overflow (connection dropped).
+func (s *Socket) enqueueConn(c *Conn) bool {
+	if s.closed {
+		return false
+	}
+	if len(s.acceptQ) >= s.acceptCap {
+		s.Drops++
+		return false
+	}
+	s.acceptQ = append(s.acceptQ, c)
+	s.ns.socketReady(s)
+	return true
+}
+
+func (s *Socket) addWatch(w *watch) {
+	// Head insertion, as epoll_ctl does on the socket wait queue.
+	s.watchers = append([]*watch{w}, s.watchers...)
+}
+
+func (s *Socket) removeWatch(w *watch) {
+	for i, x := range s.watchers {
+		if x == w {
+			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// moveWatchToTail implements the epoll-rr discipline: after a wakeup the
+// woken watcher is demoted to the tail of the wait queue.
+func (s *Socket) moveWatchToTail(w *watch) {
+	s.removeWatch(w)
+	s.watchers = append(s.watchers, w)
+}

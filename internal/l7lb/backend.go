@@ -1,0 +1,78 @@
+package l7lb
+
+import "math/rand"
+
+// Backend is one tenant backend server behind the LB.
+type Backend struct {
+	// ID identifies the server within its pool.
+	ID int
+	// Requests counts forwarded requests.
+	Requests uint64
+}
+
+// BackendPool models a tenant's backend server list, shared by all workers.
+// The controller may replace the list at runtime (scale out/in), which is
+// what triggered the synchronized round-robin restart incident of §7
+// ("Sudden load imbalance on tenants' backend servers").
+type BackendPool struct {
+	servers []*Backend
+	clients []*BackendClient
+	// RandomizeOffsets enables the production fix: after a list update,
+	// each worker restarts round-robin from a random offset instead of
+	// index 0.
+	RandomizeOffsets bool
+}
+
+// NewBackendPool creates a pool with n servers.
+func NewBackendPool(n int) *BackendPool {
+	p := &BackendPool{}
+	p.resetServers(n)
+	return p
+}
+
+func (p *BackendPool) resetServers(n int) {
+	p.servers = make([]*Backend, n)
+	for i := range p.servers {
+		p.servers[i] = &Backend{ID: i}
+	}
+}
+
+// Servers returns the current server list.
+func (p *BackendPool) Servers() []*Backend { return p.servers }
+
+// NewClient returns a per-worker round-robin cursor.
+func (p *BackendPool) NewClient() *BackendClient {
+	c := &BackendClient{pool: p}
+	p.clients = append(p.clients, c)
+	return c
+}
+
+// UpdateServers replaces the server list with n fresh servers and resets
+// every worker's round-robin cursor — to zero (the §7 bug: all workers
+// restart in lockstep, overloading the first servers) or to a random offset
+// when RandomizeOffsets is set (the fix).
+func (p *BackendPool) UpdateServers(n int, rng *rand.Rand) {
+	p.resetServers(n)
+	for _, c := range p.clients {
+		if p.RandomizeOffsets {
+			c.next = rng.Intn(n)
+		} else {
+			c.next = 0
+		}
+	}
+}
+
+// BackendClient is one worker's round-robin cursor over the pool.
+type BackendClient struct {
+	pool *BackendPool
+	next int
+}
+
+// Pick forwards one request: returns the next backend in round-robin order.
+func (c *BackendClient) Pick() *Backend {
+	s := c.pool.servers
+	b := s[c.next%len(s)]
+	c.next++
+	b.Requests++
+	return b
+}

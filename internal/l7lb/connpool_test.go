@@ -1,0 +1,165 @@
+package l7lb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermes/internal/sim"
+)
+
+func TestUpstreamPoolReuse(t *testing.T) {
+	p := NewUpstreamPool(false, 4)
+	if p.Acquire(0, 0) {
+		t.Fatal("first acquire cannot reuse")
+	}
+	p.Release(0, 0)
+	if !p.Acquire(1, 0) {
+		t.Fatal("shared pool must reuse across workers")
+	}
+	if p.Handshakes != 1 || p.Reuses != 1 {
+		t.Fatalf("counts: %d/%d", p.Handshakes, p.Reuses)
+	}
+}
+
+func TestUpstreamPoolPerWorkerIsolation(t *testing.T) {
+	p := NewUpstreamPool(true, 4)
+	p.Acquire(0, 0)
+	p.Release(0, 0)
+	if p.Acquire(1, 0) {
+		t.Fatal("per-worker pool must not share across workers")
+	}
+	if !p.Acquire(0, 0) {
+		t.Fatal("per-worker pool must reuse within the worker")
+	}
+}
+
+func TestUpstreamPoolIdleCap(t *testing.T) {
+	p := NewUpstreamPool(false, 2)
+	for i := 0; i < 5; i++ {
+		p.Release(0, 7)
+	}
+	if p.IdleTotal() != 2 {
+		t.Fatalf("idle = %d, want capped at 2", p.IdleTotal())
+	}
+	if NewUpstreamPool(false, 0).MaxIdlePerBackend != 4 {
+		t.Fatal("default idle cap")
+	}
+}
+
+// The §7 phenomenon: with requests spread across all workers (Hermes-style),
+// per-worker pools pay far more handshakes than a shared pool; with
+// concentrated traffic (exclusive-style) the gap shrinks.
+func TestUpstreamPoolSpreadVsConcentrated(t *testing.T) {
+	const workers = 16
+	const backends = 4
+	const requests = 20_000
+
+	run := func(perWorker bool, pickWorker func(r *rand.Rand) int) float64 {
+		p := NewUpstreamPool(perWorker, 2)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < requests; i++ {
+			w := pickWorker(rng)
+			b := rng.Intn(backends)
+			p.Acquire(w, b)
+			p.Release(w, b)
+		}
+		return p.HandshakeRate()
+	}
+
+	spread := func(r *rand.Rand) int { return r.Intn(workers) }
+	concentrated := func(r *rand.Rand) int { return r.Intn(2) } // 2 hot workers
+
+	perWorkerSpread := run(true, spread)
+	sharedSpread := run(false, spread)
+	perWorkerConc := run(true, concentrated)
+
+	if sharedSpread > 0.01 {
+		t.Fatalf("shared pool under spread traffic should reuse nearly always: %v", sharedSpread)
+	}
+	if perWorkerSpread < 2*perWorkerConc {
+		t.Fatalf("spreading should hurt per-worker pools: spread %v vs concentrated %v",
+			perWorkerSpread, perWorkerConc)
+	}
+	if perWorkerSpread < 5*sharedSpread {
+		t.Fatalf("shared pool should beat per-worker under spread: %v vs %v",
+			sharedSpread, perWorkerSpread)
+	}
+}
+
+// End-to-end §7: under Hermes's even spreading, per-worker upstream pools
+// pay many more backend handshakes (and thus higher latency) than a shared
+// pool on the identical workload.
+func TestUpstreamPoolLatencyEffectUnderHermes(t *testing.T) {
+	run := func(perWorker bool) (handshakeRate, avgMS float64) {
+		eng := sim.NewEngine(6)
+		cfg := DefaultConfig(ModeHermes)
+		cfg.Workers = 16
+		cfg.Backends = NewBackendPool(4)
+		cfg.Upstream = NewUpstreamPool(perWorker, 2)
+		lb, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb.Start()
+		for i := 0; i < 2000; i++ {
+			i := i
+			eng.At(int64(i)*int64(300*time.Microsecond), func() {
+				c := openConn(t, lb, uint32(i), 8080)
+				eng.After(50*time.Microsecond, func() {
+					sendReq(lb, c, 50*time.Microsecond, true)
+				})
+			})
+		}
+		eng.RunUntil(int64(2 * time.Second))
+		if lb.Completed != 2000 {
+			t.Fatalf("completed %d", lb.Completed)
+		}
+		return cfg.Upstream.HandshakeRate(), lb.Latency.Mean()
+	}
+
+	perWorkerRate, perWorkerAvg := run(true)
+	sharedRate, sharedAvg := run(false)
+	if sharedRate > 0.05 {
+		t.Fatalf("shared pool handshake rate %v too high", sharedRate)
+	}
+	if perWorkerRate < 3*sharedRate {
+		t.Fatalf("per-worker pools should miss far more: %v vs %v", perWorkerRate, sharedRate)
+	}
+	if perWorkerAvg <= sharedAvg {
+		t.Fatalf("handshakes should cost latency: per-worker %vms vs shared %vms",
+			perWorkerAvg, sharedAvg)
+	}
+}
+
+func TestBackendForwardingFansOut(t *testing.T) {
+	eng := sim.NewEngine(8)
+	cfg := DefaultConfig(ModeHermes)
+	cfg.Workers = 4
+	cfg.Backends = NewBackendPool(5)
+	lb, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Start()
+	for i := 0; i < 500; i++ {
+		i := i
+		eng.At(int64(i)*int64(200*time.Microsecond), func() {
+			c := openConn(t, lb, uint32(i), 8080)
+			eng.After(30*time.Microsecond, func() {
+				sendReq(lb, c, 20*time.Microsecond, true)
+			})
+		})
+	}
+	eng.RunUntil(int64(time.Second))
+	var total uint64
+	for _, b := range cfg.Backends.Servers() {
+		if b.Requests == 0 {
+			t.Fatalf("backend %d starved", b.ID)
+		}
+		total += b.Requests
+	}
+	if total != 500 {
+		t.Fatalf("forwarded %d of 500", total)
+	}
+}

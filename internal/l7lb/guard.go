@@ -1,0 +1,115 @@
+package l7lb
+
+import (
+	"sort"
+	"time"
+)
+
+// TenantGuard is the anomaly-detection piece of Appendix C ("exception
+// handling case 2"): it attributes worker-hang events to the tenants that
+// caused them and quarantines repeat offenders so they can be migrated to a
+// sandbox, protecting the other tenants sharing the workers.
+//
+// Attach it to an LB via LB.Guard before Start; every completed request is
+// then accounted to its tenant port.
+type TenantGuard struct {
+	// HangCost is the per-request CPU cost above which a request counts as
+	// a hang event (it blocked the worker's event loop that long).
+	HangCost time.Duration
+	// QuarantineAfter is the hang-event count that triggers quarantine.
+	QuarantineAfter int
+	// OnQuarantine fires once per tenant when it crosses the threshold —
+	// typically wired to LB.QuarantineTenant (sandbox migration).
+	OnQuarantine func(tenant uint16)
+
+	hangs       map[uint16]int
+	costNS      map[uint16]int64
+	requests    map[uint16]uint64
+	quarantined map[uint16]bool
+}
+
+// NewTenantGuard creates a guard; hangCost ≤ 0 defaults to 10 ms,
+// quarantineAfter ≤ 0 to 10 events.
+func NewTenantGuard(hangCost time.Duration, quarantineAfter int) *TenantGuard {
+	if hangCost <= 0 {
+		hangCost = 10 * time.Millisecond
+	}
+	if quarantineAfter <= 0 {
+		quarantineAfter = 10
+	}
+	return &TenantGuard{
+		HangCost:        hangCost,
+		QuarantineAfter: quarantineAfter,
+		hangs:           make(map[uint16]int),
+		costNS:          make(map[uint16]int64),
+		requests:        make(map[uint16]uint64),
+		quarantined:     make(map[uint16]bool),
+	}
+}
+
+// Note accounts one completed request to its tenant.
+func (g *TenantGuard) Note(tenant uint16, cost time.Duration) {
+	g.requests[tenant]++
+	g.costNS[tenant] += int64(cost)
+	if cost >= g.HangCost {
+		g.hangs[tenant]++
+		if g.hangs[tenant] == g.QuarantineAfter && !g.quarantined[tenant] {
+			g.quarantined[tenant] = true
+			if g.OnQuarantine != nil {
+				g.OnQuarantine(tenant)
+			}
+		}
+	}
+}
+
+// Quarantined reports whether the tenant has been quarantined.
+func (g *TenantGuard) Quarantined(tenant uint16) bool { return g.quarantined[tenant] }
+
+// HangCount returns the tenant's hang-event count.
+func (g *TenantGuard) HangCount(tenant uint16) int { return g.hangs[tenant] }
+
+// Offender summarizes one tenant's contribution to worker hangs.
+type Offender struct {
+	Tenant      uint16
+	Hangs       int
+	Requests    uint64
+	TotalCostNS int64
+}
+
+// TopOffenders returns up to k tenants ordered by hang events, then total
+// CPU cost — the migration candidates.
+func (g *TenantGuard) TopOffenders(k int) []Offender {
+	out := make([]Offender, 0, len(g.requests))
+	for t := range g.requests {
+		out = append(out, Offender{
+			Tenant: t, Hangs: g.hangs[t], Requests: g.requests[t], TotalCostNS: g.costNS[t],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hangs != out[j].Hangs {
+			return out[i].Hangs > out[j].Hangs
+		}
+		if out[i].TotalCostNS != out[j].TotalCostNS {
+			return out[i].TotalCostNS > out[j].TotalCostNS
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// QuarantineTenant migrates a tenant off this LB: its listening sockets are
+// closed so further SYNs are refused (the cloud control plane would point
+// the tenant's VIP at a sandbox device instead, Appendix C).
+func (lb *LB) QuarantineTenant(port uint16) {
+	if s := lb.NS.SharedSocket(port); s != nil {
+		lb.NS.CloseSocket(s)
+	}
+	if g := lb.NS.Group(port); g != nil {
+		for _, s := range g.Sockets() {
+			lb.NS.CloseSocket(s)
+		}
+	}
+}

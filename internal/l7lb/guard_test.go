@@ -1,0 +1,99 @@
+package l7lb
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/kernel"
+	"hermes/internal/sim"
+)
+
+func TestTenantGuardQuarantinesOffender(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig(ModeHermes)
+	cfg.Workers = 4
+	cfg.Ports = []uint16{8080, 8081} // 8080 benign, 8081 abusive
+	lb, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := NewTenantGuard(5*time.Millisecond, 3)
+	var quarantined []uint16
+	guard.OnQuarantine = func(tenant uint16) {
+		quarantined = append(quarantined, tenant)
+		lb.QuarantineTenant(tenant)
+	}
+	lb.Guard = guard
+	lb.Start()
+
+	send := func(i int, port uint16, cost time.Duration) {
+		eng.At(int64(i)*int64(2*time.Millisecond), func() {
+			c, ok := lb.NS.DeliverSYN(tupleN(uint32(i), port), nil)
+			if !ok {
+				return
+			}
+			eng.After(100*time.Microsecond, func() {
+				lb.NS.DeliverData(c, Work{ArrivalNS: eng.Now(), Cost: cost, Close: true, Tenant: port})
+			})
+		})
+	}
+	for i := 0; i < 40; i++ {
+		send(i, 8080, 50*time.Microsecond) // benign
+		send(i, 8081, 20*time.Millisecond) // hang-inducing
+	}
+	eng.RunUntil(int64(2 * time.Second))
+
+	if len(quarantined) != 1 || quarantined[0] != 8081 {
+		t.Fatalf("quarantined = %v, want [8081]", quarantined)
+	}
+	if guard.Quarantined(8080) {
+		t.Fatal("benign tenant quarantined")
+	}
+	if guard.HangCount(8081) < 3 {
+		t.Fatalf("hang count = %d", guard.HangCount(8081))
+	}
+	// New SYNs to the quarantined port are refused; benign port still works.
+	if _, ok := lb.NS.DeliverSYN(tupleN(999, 8081), nil); ok {
+		t.Fatal("quarantined tenant still accepting connections")
+	}
+	if _, ok := lb.NS.DeliverSYN(tupleN(999, 8080), nil); !ok {
+		t.Fatal("benign tenant broken by quarantine")
+	}
+	top := guard.TopOffenders(1)
+	if len(top) != 1 || top[0].Tenant != 8081 {
+		t.Fatalf("top offenders: %+v", top)
+	}
+}
+
+func tupleN(src uint32, port uint16) kernel.FourTuple {
+	return kernel.FourTuple{SrcIP: src, SrcPort: uint16(1 + src%60000), DstIP: 9, DstPort: port}
+}
+
+func TestTenantGuardDefaults(t *testing.T) {
+	g := NewTenantGuard(0, 0)
+	if g.HangCost != 10*time.Millisecond || g.QuarantineAfter != 10 {
+		t.Fatalf("defaults: %+v", g)
+	}
+	// Below-threshold costs never quarantine.
+	for i := 0; i < 100; i++ {
+		g.Note(1, time.Millisecond)
+	}
+	if g.Quarantined(1) || g.HangCount(1) != 0 {
+		t.Fatal("benign requests counted as hangs")
+	}
+	if got := g.TopOffenders(5); len(got) != 1 || got[0].Requests != 100 {
+		t.Fatalf("offenders: %+v", got)
+	}
+}
+
+func TestTenantGuardOrdering(t *testing.T) {
+	g := NewTenantGuard(time.Millisecond, 100)
+	g.Note(1, 2*time.Millisecond)
+	g.Note(1, 2*time.Millisecond)
+	g.Note(2, 2*time.Millisecond)
+	g.Note(3, 10*time.Microsecond)
+	top := g.TopOffenders(0)
+	if len(top) != 3 || top[0].Tenant != 1 || top[1].Tenant != 2 || top[2].Tenant != 3 {
+		t.Fatalf("ordering: %+v", top)
+	}
+}

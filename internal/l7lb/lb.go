@@ -1,0 +1,283 @@
+package l7lb
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/kernel"
+	"hermes/internal/sim"
+	"hermes/internal/stats"
+)
+
+// LB is one simulated L7 LB device: a netstack, a set of workers, and the
+// dispatch mode's wiring. Workload generators inject traffic through NS and
+// observe results through the counters and samples here.
+type LB struct {
+	// Eng is the virtual clock everything runs on.
+	Eng *sim.Engine
+	// NS is the device's simulated kernel.
+	NS *kernel.NetStack
+	// Cfg is the build configuration.
+	Cfg Config
+
+	// Workers are the event-loop workers (executors in ModeDispatcher).
+	Workers []*Worker
+	// Dispatcher is the extra dispatcher pseudo-core (ModeDispatcher only).
+	Dispatcher *dispatcher
+	// Ctl is the Hermes controller (Hermes modes, ≤64 workers).
+	Ctl *core.Controller
+	// GCtl is the two-level grouped controller (Hermes modes, >64 workers, §7).
+	GCtl *core.GroupedController
+
+	groups      []*kernel.ReuseportGroup
+	shared      []*kernel.Socket
+	mutex       *acceptMutex
+	acceptExtra time.Duration // per-accept dispatch overhead (mode-dependent)
+
+	// Latency samples end-to-end request time (ms).
+	Latency stats.Sample
+	// ProbeLatency samples health-probe time (ms), Fig. 11.
+	ProbeLatency stats.Sample
+	// Completed counts finished requests (excluding probes).
+	Completed uint64
+	// ProbesCompleted counts finished probes.
+	ProbesCompleted uint64
+	// BytesIn / BytesOut total request/response bytes.
+	BytesIn  uint64
+	BytesOut uint64
+	// ConnsReset counts RSTs from pool exhaustion, shedding, and crashes.
+	ConnsReset uint64
+
+	// OnResponse, if set, fires at each request completion — closed-loop
+	// clients use it to send their next request.
+	OnResponse func(conn *kernel.Conn, work Work)
+	// OnConnReset, if set, fires when the LB resets a connection, so the
+	// workload can model client reconnects.
+	OnConnReset func(conn *kernel.Conn)
+	// Guard, if set before Start, attributes hang events to tenants and
+	// quarantines repeat offenders (Appendix C).
+	Guard *TenantGuard
+}
+
+// New assembles an LB on the engine. Call Start to begin the worker loops.
+func New(eng *sim.Engine, cfg Config) (*LB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	wake := kernel.WakeExclusiveLIFO
+	switch cfg.Mode {
+	case ModeHerd:
+		wake = kernel.WakeHerd
+	case ModeExclusiveRR:
+		wake = kernel.WakeExclusiveRR
+	case ModeIOUring:
+		wake = kernel.WakeExclusiveFIFO
+	}
+	lb := &LB{
+		Eng: eng,
+		NS:  kernel.NewNetStack(eng, wake),
+		Cfg: cfg,
+	}
+
+	switch cfg.Mode {
+	case ModeExclusive, ModeExclusiveRR, ModeHerd, ModeAcceptMutex, ModeDispatcher, ModeIOUring:
+		for _, p := range cfg.Ports {
+			s, err := lb.NS.ListenShared(p, cfg.Backlog)
+			if err != nil {
+				return nil, err
+			}
+			lb.shared = append(lb.shared, s)
+		}
+	case ModeReuseport, ModeHermes, ModeHermesNative:
+		for _, p := range cfg.Ports {
+			g, err := lb.NS.ListenReuseport(p, cfg.Workers, cfg.Backlog)
+			if err != nil {
+				return nil, err
+			}
+			lb.groups = append(lb.groups, g)
+		}
+	default:
+		return nil, fmt.Errorf("l7lb: unknown mode %v", cfg.Mode)
+	}
+
+	if cfg.Mode.UsesHermes() {
+		if cfg.Workers > 64 {
+			// Two-level grouped deployment (§7): hash to a ≤64-worker
+			// group, bitmap-select within it.
+			gctl, err := core.NewGroupedController(cfg.Workers, cfg.Hermes, core.GroupByTupleHash)
+			if err != nil {
+				return nil, err
+			}
+			lb.GCtl = gctl
+			gctl.SetFilterOrder(cfg.FilterOrder)
+			for _, g := range lb.groups {
+				if cfg.Mode == ModeHermes {
+					err = gctl.AttachEBPF(g)
+				} else {
+					err = gctl.AttachNative(g)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			ctl, err := core.NewController(cfg.Workers, cfg.Hermes)
+			if err != nil {
+				return nil, err
+			}
+			lb.Ctl = ctl
+			ctl.SetFilterOrder(cfg.FilterOrder)
+			for _, g := range lb.groups {
+				if cfg.Mode == ModeHermes {
+					err = ctl.AttachEBPF(g)
+				} else {
+					err = ctl.AttachNative(g)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if cfg.Mode == ModeAcceptMutex {
+		lb.mutex = &acceptMutex{}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		var hook Hook = NopHook{}
+		if lb.Ctl != nil {
+			hook = hermesHook{lb.Ctl.NewWorkerHook(i)}
+		} else if lb.GCtl != nil {
+			hook = hermesGroupedHook{lb.GCtl.NewWorkerHook(i)}
+		}
+		w := newWorker(lb, i, hook)
+		if cfg.Backends != nil {
+			w.backend = cfg.Backends.NewClient()
+		}
+		lb.Workers = append(lb.Workers, w)
+
+		switch cfg.Mode {
+		case ModeExclusive, ModeExclusiveRR, ModeHerd, ModeIOUring:
+			for _, s := range lb.shared {
+				w.ep.Add(s)
+			}
+		case ModeAcceptMutex:
+			w.listenSocks = lb.shared
+		case ModeDispatcher:
+			w.executor = true
+		case ModeReuseport, ModeHermes, ModeHermesNative:
+			for _, g := range lb.groups {
+				w.ep.Add(g.Sockets()[i])
+			}
+		}
+	}
+	if cfg.Mode == ModeDispatcher {
+		lb.Dispatcher = newDispatcher(lb)
+	}
+
+	registered := cfg.RegisteredPorts
+	if registered == 0 {
+		registered = len(cfg.Ports)
+	}
+	switch cfg.Mode {
+	case ModeReuseport, ModeHermes, ModeHermesNative:
+		lb.acceptExtra = time.Duration(len(cfg.Ports)) * cfg.Costs.PerWatch
+	default:
+		lb.acceptExtra = time.Duration(registered) * cfg.Costs.PerWatch
+	}
+	return lb, nil
+}
+
+// Start launches all worker loops (and the dispatcher) at the current
+// virtual time.
+func (lb *LB) Start() {
+	for _, w := range lb.Workers {
+		w.Start()
+	}
+	if lb.Dispatcher != nil {
+		lb.Dispatcher.start()
+	}
+}
+
+// Groups returns the per-port reuseport groups (reuseport/Hermes modes).
+func (lb *LB) Groups() []*kernel.ReuseportGroup { return lb.groups }
+
+// SharedSockets returns the shared listening sockets (shared-socket modes).
+func (lb *LB) SharedSockets() []*kernel.Socket { return lb.shared }
+
+// TotalBusyNS sums worker busy time as of now (plus the dispatcher's, if
+// present).
+func (lb *LB) TotalBusyNS() int64 {
+	now := lb.Eng.Now()
+	var t int64
+	for _, w := range lb.Workers {
+		t += w.BusyNS(now)
+	}
+	if lb.Dispatcher != nil {
+		t += lb.Dispatcher.w.BusyNS(now)
+	}
+	return t
+}
+
+// WorkerConnCounts returns each worker's live connection count.
+func (lb *LB) WorkerConnCounts() []int {
+	out := make([]int, len(lb.Workers))
+	for i, w := range lb.Workers {
+		out[i] = w.OpenConns()
+	}
+	return out
+}
+
+func (lb *LB) recordCompletion(w *Worker, conn *kernel.Conn, work Work) {
+	now := lb.Eng.Now()
+	lat := now - work.ArrivalNS
+	if work.Probe {
+		lb.ProbesCompleted++
+		lb.ProbeLatency.AddDuration(lat)
+	} else {
+		lb.Completed++
+		lb.Latency.AddDuration(lat)
+	}
+	lb.BytesIn += uint64(work.Size)
+	lb.BytesOut += uint64(work.RespSize)
+	if lb.Guard != nil && !work.Probe {
+		lb.Guard.Note(work.Tenant, work.Cost)
+	}
+	if lb.OnResponse != nil {
+		lb.OnResponse(conn, work)
+	}
+}
+
+func (lb *LB) notifyReset(conn *kernel.Conn) {
+	if lb.OnConnReset != nil {
+		lb.OnConnReset(conn)
+	}
+}
+
+// hermesGroupedHook adapts the grouped (>64-worker) hook to the Hook seam.
+type hermesGroupedHook struct{ h *core.GroupedWorkerHook }
+
+func (h hermesGroupedHook) LoopEnter(now int64) { h.h.LoopEnter(now) }
+func (h hermesGroupedHook) EventsFetched(n int) { h.h.EventsFetched(n) }
+func (h hermesGroupedHook) EventHandled()       { h.h.EventHandled() }
+func (h hermesGroupedHook) ConnOpened()         { h.h.ConnOpened() }
+func (h hermesGroupedHook) ConnClosed()         { h.h.ConnClosed() }
+func (h hermesGroupedHook) ScheduleAndSync(now int64) bool {
+	h.h.ScheduleAndSync(now)
+	return true
+}
+
+// hermesHook adapts core's worker hook to the l7lb Hook seam.
+type hermesHook struct{ h *core.WorkerHook }
+
+func (h hermesHook) LoopEnter(now int64) { h.h.LoopEnter(now) }
+func (h hermesHook) EventsFetched(n int) { h.h.EventsFetched(n) }
+func (h hermesHook) EventHandled()       { h.h.EventHandled() }
+func (h hermesHook) ConnOpened()         { h.h.ConnOpened() }
+func (h hermesHook) ConnClosed()         { h.h.ConnClosed() }
+func (h hermesHook) ScheduleAndSync(now int64) bool {
+	h.h.ScheduleAndSync(now)
+	return true
+}

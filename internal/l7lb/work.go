@@ -1,0 +1,62 @@
+package l7lb
+
+import "time"
+
+// Work is one application-layer request as it crosses the simulated kernel:
+// the workload generator attaches it as the payload of a readable event, and
+// the worker charges itself Cost of virtual CPU to process it. The classes
+// mirror the paper's processing tasks (§2.1).
+type Work struct {
+	// ArrivalNS is the virtual time the request reached the LB (data
+	// delivery); end-to-end latency is completion − arrival.
+	ArrivalNS int64
+	// Cost is the CPU time the worker spends on this request (routing,
+	// TLS, compression, copying — request-dependent, invisible to the
+	// kernel: the paper's core observation, §3).
+	Cost time.Duration
+	// Size is the request size in bytes (Table 1).
+	Size int
+	// RespSize is the response size in bytes.
+	RespSize int
+	// Close requests connection teardown after the response.
+	Close bool
+	// Probe marks the health probes of Fig. 11.
+	Probe bool
+	// Tenant is the tenant port this request belongs to.
+	Tenant uint16
+}
+
+// Hook is the seam where Hermes instruments the event loop (Fig. 9). The
+// baseline modes use NopHook; Hermes modes adapt core's worker hooks.
+type Hook interface {
+	LoopEnter(nowNS int64)
+	EventsFetched(n int)
+	EventHandled()
+	ConnOpened()
+	ConnClosed()
+	// ScheduleAndSync runs at the end of each event loop; it returns true
+	// if a scheduling pass actually executed (so the worker charges itself
+	// the scheduler's CPU cost).
+	ScheduleAndSync(nowNS int64) bool
+}
+
+// NopHook is the baseline (non-Hermes) hook: the unmodified event loop.
+type NopHook struct{}
+
+// LoopEnter implements Hook.
+func (NopHook) LoopEnter(int64) {}
+
+// EventsFetched implements Hook.
+func (NopHook) EventsFetched(int) {}
+
+// EventHandled implements Hook.
+func (NopHook) EventHandled() {}
+
+// ConnOpened implements Hook.
+func (NopHook) ConnOpened() {}
+
+// ConnClosed implements Hook.
+func (NopHook) ConnClosed() {}
+
+// ScheduleAndSync implements Hook.
+func (NopHook) ScheduleAndSync(int64) bool { return false }

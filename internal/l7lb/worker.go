@@ -1,0 +1,456 @@
+package l7lb
+
+import (
+	"time"
+
+	"hermes/internal/kernel"
+	"hermes/internal/stats"
+)
+
+// Worker is one LB worker process pinned to one CPU core, running the
+// run-to-completion epoll event loop of Fig. A1 (baselines) or Fig. 9
+// (Hermes). CPU occupancy is modelled in virtual time: handling an event
+// charges its cost to the worker's core and defers the next step until the
+// cost has elapsed, so an expensive request really does block everything
+// behind it — the mechanism behind worker hangs (§5.2.1).
+type Worker struct {
+	// ID is the worker index (== CPU core == reuseport socket index).
+	ID int
+
+	lb      *LB
+	ep      *kernel.Epoll
+	hook    Hook
+	backend *BackendClient // round-robin cursor when Config.Backends is set
+
+	crashed  bool
+	executor bool // ModeDispatcher executors run job queues, not epoll loops
+
+	conns   []*kernel.Socket
+	connIdx map[*kernel.Socket]int
+
+	listenSocks []*kernel.Socket // accept-mutex: sockets registered while holding
+
+	waitStart    int64
+	batchStart   int64
+	prevSpurious uint64
+
+	// Executor state (ModeDispatcher).
+	jobs         []execJob
+	jobRunning   bool
+	queuedCostNS int64
+
+	// busyDoneNS is CPU time of finished work; jobStartNS/jobEndNS bracket
+	// the in-flight piece so BusyNS never over-reports a long job that
+	// extends past the observation instant.
+	busyDoneNS int64
+	jobStartNS int64
+	jobEndNS   int64
+	// Completed counts requests finished on this worker.
+	Completed uint64
+	// Accepted counts connections accepted.
+	Accepted uint64
+	// ResetConns counts connections reset by pool exhaustion or shedding.
+	ResetConns uint64
+
+	// Detailed per-worker distributions (enabled by Config.DetailedStats).
+	EventsPerWait *stats.Sample // Fig. 4
+	BatchProcNS   *stats.Sample // Fig. 5a
+	BlockNS       *stats.Sample // Fig. 5b
+}
+
+type execJob struct {
+	cost time.Duration
+	done func()
+}
+
+func newWorker(lb *LB, id int, hook Hook) *Worker {
+	w := &Worker{
+		ID:      id,
+		lb:      lb,
+		ep:      lb.NS.NewEpoll(),
+		hook:    hook,
+		connIdx: make(map[*kernel.Socket]int),
+	}
+	if lb.Cfg.DetailedStats {
+		w.EventsPerWait = &stats.Sample{}
+		w.BatchProcNS = &stats.Sample{}
+		w.BlockNS = &stats.Sample{}
+	}
+	return w
+}
+
+// Epoll exposes the worker's epoll instance (wiring and tests).
+func (w *Worker) Epoll() *kernel.Epoll { return w.ep }
+
+// OpenConns returns the number of live connections owned by this worker.
+func (w *Worker) OpenConns() int { return len(w.conns) }
+
+// SampleConn returns one of the worker's live connection sockets (nil if it
+// has none) — used by the prober to reach every worker through real
+// connections.
+func (w *Worker) SampleConn() *kernel.Socket {
+	if len(w.conns) == 0 {
+		return nil
+	}
+	return w.conns[0]
+}
+
+// OwnsConn reports whether this worker holds the given connection socket.
+func (w *Worker) OwnsConn(s *kernel.Socket) bool {
+	_, ok := w.connIdx[s]
+	return ok
+}
+
+// Crashed reports whether the worker has crashed.
+func (w *Worker) Crashed() bool { return w.crashed }
+
+// Crash kills the worker (§7 "How worker failures impact tenant services").
+// With dropConns, its established connections are reset, notifying the
+// workload's reset callback so clients can reconnect.
+func (w *Worker) Crash(dropConns bool) {
+	w.crashed = true
+	if dropConns {
+		for len(w.conns) > 0 {
+			w.resetConn(w.conns[len(w.conns)-1])
+		}
+	}
+}
+
+// busy charges completed (instantaneous) CPU work.
+func (w *Worker) busy(d time.Duration) {
+	if d > 0 {
+		w.busyDoneNS += int64(d)
+	}
+}
+
+// beginWork marks the start of a deferred piece of work of duration d; the
+// matching endWork (from the completion callback) banks it. Observations in
+// between see only the elapsed fraction.
+func (w *Worker) beginWork(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	now := w.lb.Eng.Now()
+	w.jobStartNS, w.jobEndNS = now, now+int64(d)
+}
+
+func (w *Worker) endWork() {
+	if w.jobEndNS > w.jobStartNS {
+		w.busyDoneNS += w.jobEndNS - w.jobStartNS
+	}
+	w.jobStartNS, w.jobEndNS = 0, 0
+}
+
+// BusyNS returns accumulated virtual CPU time as of nowNS, including the
+// elapsed part of any in-flight job.
+func (w *Worker) BusyNS(nowNS int64) int64 {
+	b := w.busyDoneNS
+	if w.jobEndNS > w.jobStartNS {
+		end := nowNS
+		if w.jobEndNS < end {
+			end = w.jobEndNS
+		}
+		if end > w.jobStartNS {
+			b += end - w.jobStartNS
+		}
+	}
+	return b
+}
+
+// Start schedules the first event-loop iteration.
+func (w *Worker) Start() {
+	if w.executor {
+		return // executors are driven by the dispatcher
+	}
+	w.loopEnter()
+}
+
+func (w *Worker) loopEnter() {
+	if w.crashed {
+		return
+	}
+	now := w.lb.Eng.Now()
+	w.hook.LoopEnter(now)
+	if w.lb.Cfg.ScheduleAtLoopStart {
+		if w.hook.ScheduleAndSync(now) {
+			w.busy(w.lb.Cfg.Costs.Schedule)
+		}
+	}
+	if w.lb.mutex != nil {
+		w.tryAcquireMutex()
+	}
+	w.waitStart = now
+	w.prevSpurious = w.ep.SpuriousWakeups
+	w.ep.Wait(w.lb.Cfg.Hermes.MaxEvents, w.lb.Cfg.Hermes.EpollTimeout, w.onWake)
+}
+
+func (w *Worker) onWake(evs []kernel.Event) {
+	if w.crashed {
+		return
+	}
+	now := w.lb.Eng.Now()
+	if w.BlockNS != nil {
+		w.BlockNS.Add(float64(now - w.waitStart))
+	}
+	if w.EventsPerWait != nil {
+		w.EventsPerWait.Add(float64(len(evs)))
+	}
+	w.hook.EventsFetched(len(evs))
+	w.batchStart = now
+	if len(evs) == 0 && w.ep.SpuriousWakeups > w.prevSpurious {
+		// Thundering-herd loser: charge the wasted wakeup.
+		w.busy(w.lb.Cfg.Costs.SpuriousWake)
+	}
+	w.processBatch(evs, 0)
+}
+
+func (w *Worker) processBatch(evs []kernel.Event, i int) {
+	if w.crashed {
+		return
+	}
+	if i >= len(evs) {
+		w.endLoop()
+		return
+	}
+	cost, done := w.handle(evs[i])
+	w.beginWork(cost)
+	w.lb.Eng.After(cost, func() {
+		if w.crashed {
+			return
+		}
+		w.endWork()
+		w.hook.EventHandled()
+		if done != nil {
+			done()
+		}
+		if w.lb.Cfg.EdgeTriggered && evs[i].Kind == kernel.EvReadable &&
+			!evs[i].Sock.Closed() && evs[i].Sock.PendingData() > 0 {
+			if p := w.lb.Cfg.Shed; p.Enabled && p.PendingThreshold > 0 &&
+				evs[i].Sock.PendingData() > p.PendingThreshold {
+				// Proactive degradation (Appendix C): RST the runaway
+				// connection instead of staying trapped in its drain.
+				w.ResetConns++
+				w.lb.ConnsReset++
+				w.resetConn(evs[i].Sock)
+				w.busy(w.lb.Cfg.Costs.Close)
+				w.processBatch(evs, i+1)
+				return
+			}
+			// Edge-triggered drain obligation: keep consuming this socket
+			// before touching the rest of the loop — the trap of Appendix C
+			// when data arrives faster than it is processed.
+			w.hook.EventsFetched(1)
+			w.processBatch(evs, i)
+			return
+		}
+		w.processBatch(evs, i+1)
+	})
+}
+
+// handle applies an event's immediate effects and returns its CPU cost plus
+// an optional completion action that runs when the cost has elapsed.
+func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
+	costs := w.lb.Cfg.Costs
+	switch ev.Kind {
+	case kernel.EvAccept:
+		conn, ok := ev.Sock.Accept()
+		if !ok {
+			// Raced by another worker (herd / shared-socket modes).
+			return costs.SpuriousWake, nil
+		}
+		w.Accepted++
+		if max := w.lb.Cfg.MaxConnsPerWorker; max > 0 && len(w.conns) >= max {
+			// Connection pool exhausted: reset (§5.1.1).
+			w.ResetConns++
+			w.lb.ConnsReset++
+			sock := conn.Sock()
+			w.lb.NS.CloseSocket(sock)
+			w.lb.notifyReset(conn)
+			return costs.Close, nil
+		}
+		w.addConn(conn.Sock())
+		w.hook.ConnOpened()
+		// Accept cost includes the dispatch overhead: O(#registered ports)
+		// for shared-socket modes, O(#owned ports) for reuseport/Hermes
+		// (§6.2 Case 1).
+		return costs.Accept + w.lb.acceptExtra, nil
+	case kernel.EvReadable:
+		payload, ok := ev.Sock.PopData()
+		if !ok {
+			return costs.SpuriousWake, nil
+		}
+		work := payload.(Work)
+		sock := ev.Sock
+		cost := work.Cost
+		var backendID int
+		forwarded := false
+		if w.backend != nil {
+			// Forward to a backend (§7): a pool miss pays the cross-network
+			// handshake before the request can proceed.
+			b := w.backend.Pick()
+			backendID = b.ID
+			forwarded = true
+			if w.lb.Cfg.Upstream != nil && !w.lb.Cfg.Upstream.Acquire(w.ID, b.ID) {
+				cost += costs.UpstreamHandshake
+			}
+		}
+		return cost, func() {
+			if forwarded && w.lb.Cfg.Upstream != nil {
+				w.lb.Cfg.Upstream.Release(w.ID, backendID)
+			}
+			w.Completed++
+			w.lb.recordCompletion(w, sock.Conn(), work)
+			if work.Close {
+				w.closeConn(sock)
+			}
+		}
+	case kernel.EvHangup:
+		w.closeConn(ev.Sock)
+		return costs.Close, nil
+	default:
+		return 0, nil
+	}
+}
+
+func (w *Worker) endLoop() {
+	now := w.lb.Eng.Now()
+	if w.BatchProcNS != nil && now > w.batchStart {
+		w.BatchProcNS.Add(float64(now - w.batchStart))
+	}
+
+	var tail time.Duration
+	if !w.lb.Cfg.ScheduleAtLoopStart && w.hook.ScheduleAndSync(now) {
+		tail += w.lb.Cfg.Costs.Schedule
+	}
+	if p := w.lb.Cfg.Shed; p.Enabled {
+		for len(w.conns) > p.ConnThreshold {
+			w.ResetConns++
+			w.lb.ConnsReset++
+			w.resetConn(w.conns[len(w.conns)-1])
+			tail += w.lb.Cfg.Costs.Close
+		}
+	}
+	if w.lb.mutex != nil && w.lb.mutex.holder == w {
+		w.releaseMutex()
+		tail += w.lb.Cfg.Costs.MutexOp
+	}
+	w.beginWork(tail)
+	w.lb.Eng.After(tail, func() {
+		w.endWork()
+		w.loopEnter()
+	})
+}
+
+func (w *Worker) addConn(s *kernel.Socket) {
+	if w.lb.Cfg.EdgeTriggered {
+		w.ep.AddET(s)
+	} else {
+		w.ep.Add(s)
+	}
+	w.connIdx[s] = len(w.conns)
+	w.conns = append(w.conns, s)
+}
+
+func (w *Worker) removeConn(s *kernel.Socket) {
+	i, ok := w.connIdx[s]
+	if !ok {
+		return
+	}
+	last := len(w.conns) - 1
+	w.conns[i] = w.conns[last]
+	w.connIdx[w.conns[i]] = i
+	w.conns = w.conns[:last]
+	delete(w.connIdx, s)
+}
+
+// closeConn tears down a connection in response to protocol events
+// (hangup or Connection: close).
+func (w *Worker) closeConn(s *kernel.Socket) {
+	if s.Closed() {
+		return
+	}
+	w.removeConn(s)
+	w.hook.ConnClosed()
+	w.lb.NS.CloseSocket(s)
+}
+
+// resetConn force-closes a connection (RST): pool exhaustion, shedding, or
+// crash. The workload's reset callback fires so clients can reconnect.
+func (w *Worker) resetConn(s *kernel.Socket) {
+	if s.Closed() {
+		return
+	}
+	conn := s.Conn()
+	w.removeConn(s)
+	w.hook.ConnClosed()
+	w.lb.NS.CloseSocket(s)
+	w.lb.notifyReset(conn)
+}
+
+// --- accept-mutex mode ---
+
+type acceptMutex struct {
+	holder *Worker
+	next   int // rotation cursor for handoff kicks
+}
+
+func (w *Worker) tryAcquireMutex() {
+	m := w.lb.mutex
+	if m.holder != nil {
+		return
+	}
+	m.holder = w
+	w.busy(w.lb.Cfg.Costs.MutexOp)
+	for _, ls := range w.listenSocks {
+		w.ep.Add(ls)
+	}
+}
+
+func (w *Worker) releaseMutex() {
+	for _, ls := range w.listenSocks {
+		w.ep.Del(ls)
+	}
+	m := w.lb.mutex
+	m.holder = nil
+	// Hand off: kick one sleeping worker so the mutex is contended again
+	// immediately rather than after somebody's epoll timeout (nginx
+	// workers retry on their own wakeups / accept_mutex_delay).
+	ws := w.lb.Workers
+	for i := 0; i < len(ws); i++ {
+		cand := ws[(m.next+i)%len(ws)]
+		if cand != w && !cand.crashed && cand.ep.Blocked() {
+			m.next = (m.next + i + 1) % len(ws)
+			cand.ep.Kick()
+			return
+		}
+	}
+}
+
+// --- dispatcher-mode executor ---
+
+func (w *Worker) pushJob(cost time.Duration, done func()) {
+	w.jobs = append(w.jobs, execJob{cost: cost, done: done})
+	w.queuedCostNS += int64(cost)
+	if !w.jobRunning {
+		w.runNextJob()
+	}
+}
+
+func (w *Worker) runNextJob() {
+	if w.crashed || len(w.jobs) == 0 {
+		w.jobRunning = false
+		return
+	}
+	w.jobRunning = true
+	j := w.jobs[0]
+	w.jobs = w.jobs[1:]
+	w.beginWork(j.cost)
+	w.lb.Eng.After(j.cost, func() {
+		w.endWork()
+		w.queuedCostNS -= int64(j.cost)
+		if j.done != nil {
+			j.done()
+		}
+		w.runNextJob()
+	})
+}

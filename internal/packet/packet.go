@@ -1,0 +1,290 @@
+// Package packet implements the wire formats of the ingress pipeline in
+// Fig. 1: Internet traffic reaches the cloud gateway, which encapsulates it
+// in VXLAN with the tenant's VNI; the L4 LB decapsulates, NATs the
+// destination port to the tenant's dedicated L7 port, and forwards the
+// inner TCP flow to an L7 LB device.
+//
+// Only the fields that pipeline needs are modelled — IPv4 (no options), TCP
+// header (no options beyond the fixed part), UDP, and VXLAN — but they are
+// real byte-level codecs with checksums where the pipeline depends on them,
+// so internal/cluster can push actual frames through the gateway → L4 → L7
+// path.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header sizes in bytes.
+const (
+	IPv4HeaderLen  = 20
+	TCPHeaderLen   = 20
+	UDPHeaderLen   = 8
+	VXLANHeaderLen = 8
+	// VXLANPort is the IANA VXLAN UDP port.
+	VXLANPort = 4789
+)
+
+// TCP flags.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// IPv4 is the fixed 20-byte header (no options).
+type IPv4 struct {
+	TTL      uint8
+	Protocol uint8 // 6 = TCP, 17 = UDP
+	SrcIP    uint32
+	DstIP    uint32
+	// TotalLen covers header + payload.
+	TotalLen uint16
+	// ID is the identification field (diagnostics only here).
+	ID uint16
+}
+
+// Protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Marshal appends the header to dst with a correct checksum.
+func (h IPv4) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, IPv4HeaderLen)...)
+	b := dst[off:]
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:], h.SrcIP)
+	binary.BigEndian.PutUint32(b[16:], h.DstIP)
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:IPv4HeaderLen]))
+	return dst
+}
+
+// UnmarshalIPv4 parses and validates an IPv4 header, returning the header
+// and the payload slice.
+func UnmarshalIPv4(b []byte) (IPv4, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4{}, nil, fmt.Errorf("packet: ipv4 truncated (%d bytes)", len(b))
+	}
+	if b[0] != 0x45 {
+		return IPv4{}, nil, fmt.Errorf("packet: unsupported version/IHL %#x", b[0])
+	}
+	if Checksum(b[:IPv4HeaderLen]) != 0 {
+		return IPv4{}, nil, fmt.Errorf("packet: ipv4 checksum mismatch")
+	}
+	h := IPv4{
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		SrcIP:    binary.BigEndian.Uint32(b[12:]),
+		DstIP:    binary.BigEndian.Uint32(b[16:]),
+	}
+	if int(h.TotalLen) > len(b) {
+		return IPv4{}, nil, fmt.Errorf("packet: ipv4 total length %d exceeds buffer %d", h.TotalLen, len(b))
+	}
+	return h, b[IPv4HeaderLen:h.TotalLen], nil
+}
+
+// TCP is the fixed 20-byte header (no options).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+}
+
+// Marshal appends the header to dst. The checksum field is left zero: the
+// simulated pipeline validates the outer IPv4 checksum and VXLAN framing,
+// and real NICs offload the TCP checksum anyway.
+func (t TCP) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, TCPHeaderLen)...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:], t.Seq)
+	binary.BigEndian.PutUint32(b[8:], t.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:], t.Window)
+	return dst
+}
+
+// UnmarshalTCP parses a TCP header, returning the header and payload.
+func UnmarshalTCP(b []byte) (TCP, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return TCP{}, nil, fmt.Errorf("packet: tcp truncated (%d bytes)", len(b))
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(b) {
+		return TCP{}, nil, fmt.Errorf("packet: bad tcp data offset %d", dataOff)
+	}
+	return TCP{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Seq:     binary.BigEndian.Uint32(b[4:]),
+		Ack:     binary.BigEndian.Uint32(b[8:]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:]),
+	}, b[dataOff:], nil
+}
+
+// UDP is the 8-byte header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16 // header + payload
+}
+
+// Marshal appends the header to dst (checksum 0 = unused, legal for IPv4).
+func (u UDP) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, UDPHeaderLen)...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], u.Length)
+	return dst
+}
+
+// UnmarshalUDP parses a UDP header, returning the header and payload.
+func UnmarshalUDP(b []byte) (UDP, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return UDP{}, nil, fmt.Errorf("packet: udp truncated (%d bytes)", len(b))
+	}
+	u := UDP{
+		SrcPort: binary.BigEndian.Uint16(b[0:]),
+		DstPort: binary.BigEndian.Uint16(b[2:]),
+		Length:  binary.BigEndian.Uint16(b[4:]),
+	}
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(b) {
+		return UDP{}, nil, fmt.Errorf("packet: bad udp length %d", u.Length)
+	}
+	return u, b[UDPHeaderLen:u.Length], nil
+}
+
+// VXLAN is the 8-byte VXLAN header (RFC 7348): tenant traffic is
+// distinguished by the 24-bit VNI (Fig. 1).
+type VXLAN struct {
+	VNI uint32 // 24 bits
+}
+
+// Marshal appends the header to dst.
+func (v VXLAN) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, VXLANHeaderLen)...)
+	b := dst[off:]
+	b[0] = 0x08 // I flag: VNI valid
+	b[4] = byte(v.VNI >> 16)
+	b[5] = byte(v.VNI >> 8)
+	b[6] = byte(v.VNI)
+	return dst
+}
+
+// UnmarshalVXLAN parses a VXLAN header, returning the VNI and inner frame.
+func UnmarshalVXLAN(b []byte) (VXLAN, []byte, error) {
+	if len(b) < VXLANHeaderLen {
+		return VXLAN{}, nil, fmt.Errorf("packet: vxlan truncated (%d bytes)", len(b))
+	}
+	if b[0]&0x08 == 0 {
+		return VXLAN{}, nil, fmt.Errorf("packet: vxlan I flag not set")
+	}
+	vni := uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])
+	return VXLAN{VNI: vni}, b[VXLANHeaderLen:], nil
+}
+
+// Checksum computes the RFC 1071 internet checksum over b (with the
+// checksum field bytes included as stored; marshal with the field zeroed).
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// EncapVXLAN builds the full gateway-side frame: outer IPv4+UDP+VXLAN
+// around an inner IPv4+TCP segment (Fig. 1's encapsulated tenant traffic).
+func EncapVXLAN(outerSrc, outerDst uint32, vni uint32, inner []byte) []byte {
+	udpLen := UDPHeaderLen + VXLANHeaderLen + len(inner)
+	totalLen := IPv4HeaderLen + udpLen
+	out := make([]byte, 0, totalLen)
+	out = IPv4{
+		TTL: 64, Protocol: ProtoUDP,
+		SrcIP: outerSrc, DstIP: outerDst,
+		TotalLen: uint16(totalLen),
+	}.Marshal(out)
+	out = UDP{SrcPort: 49152, DstPort: VXLANPort, Length: uint16(udpLen)}.Marshal(out)
+	out = VXLAN{VNI: vni}.Marshal(out)
+	return append(out, inner...)
+}
+
+// DecapVXLAN unwraps a gateway frame, returning the VNI and inner packet.
+func DecapVXLAN(frame []byte) (vni uint32, inner []byte, err error) {
+	ip, payload, err := UnmarshalIPv4(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if ip.Protocol != ProtoUDP {
+		return 0, nil, fmt.Errorf("packet: outer protocol %d, want UDP", ip.Protocol)
+	}
+	udp, payload, err := UnmarshalUDP(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if udp.DstPort != VXLANPort {
+		return 0, nil, fmt.Errorf("packet: outer UDP port %d, want %d", udp.DstPort, VXLANPort)
+	}
+	vx, inner, err := UnmarshalVXLAN(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return vx.VNI, inner, nil
+}
+
+// TCPSegment builds an inner IPv4+TCP packet.
+func TCPSegment(srcIP, dstIP uint32, t TCP, payload []byte) []byte {
+	totalLen := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	out := make([]byte, 0, totalLen)
+	out = IPv4{
+		TTL: 64, Protocol: ProtoTCP,
+		SrcIP: srcIP, DstIP: dstIP,
+		TotalLen: uint16(totalLen),
+	}.Marshal(out)
+	out = t.Marshal(out)
+	return append(out, payload...)
+}
+
+// ParseTCPSegment parses an inner IPv4+TCP packet.
+func ParseTCPSegment(b []byte) (IPv4, TCP, []byte, error) {
+	ip, payload, err := UnmarshalIPv4(b)
+	if err != nil {
+		return IPv4{}, TCP{}, nil, err
+	}
+	if ip.Protocol != ProtoTCP {
+		return IPv4{}, TCP{}, nil, fmt.Errorf("packet: inner protocol %d, want TCP", ip.Protocol)
+	}
+	t, data, err := UnmarshalTCP(payload)
+	if err != nil {
+		return IPv4{}, TCP{}, nil, err
+	}
+	return ip, t, data, nil
+}

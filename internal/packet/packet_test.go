@@ -1,0 +1,175 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{TTL: 64, Protocol: ProtoTCP, SrcIP: 0x01020304, DstIP: 0x0a0b0c0d, TotalLen: 20, ID: 7}
+	wire := h.Marshal(nil)
+	if len(wire) != IPv4HeaderLen {
+		t.Fatalf("len %d", len(wire))
+	}
+	back, payload, err := UnmarshalIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip: %+v != %+v", back, h)
+	}
+	if len(payload) != 0 {
+		t.Fatal("payload should be empty")
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	h := IPv4{TTL: 64, Protocol: ProtoUDP, SrcIP: 1, DstIP: 2, TotalLen: 20}
+	wire := h.Marshal(nil)
+	wire[8] ^= 0xff // corrupt TTL
+	if _, _, err := UnmarshalIPv4(wire); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4Malformed(t *testing.T) {
+	if _, _, err := UnmarshalIPv4([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	bad := IPv4{TTL: 1, Protocol: 6, TotalLen: 20}.Marshal(nil)
+	bad[0] = 0x46 // IHL 6 unsupported
+	if _, _, err := UnmarshalIPv4(bad); err == nil {
+		t.Fatal("IHL6 accepted")
+	}
+	short := IPv4{TTL: 1, Protocol: 6, TotalLen: 100}.Marshal(nil) // claims 100, has 20
+	if _, _, err := UnmarshalIPv4(short); err == nil {
+		t.Fatal("overlong TotalLen accepted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	f := func(src, dst uint16, seq, ack uint32, win uint16) bool {
+		h := TCP{SrcPort: src, DstPort: dst, Seq: seq, Ack: ack, Flags: FlagSYN | FlagACK, Window: win}
+		back, payload, err := UnmarshalTCP(h.Marshal(nil))
+		return err == nil && back == h && len(payload) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 1000, DstPort: VXLANPort, Length: UDPHeaderLen + 4}
+	wire := u.Marshal(nil)
+	wire = append(wire, 1, 2, 3, 4)
+	back, payload, err := UnmarshalUDP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != u || !bytes.Equal(payload, []byte{1, 2, 3, 4}) {
+		t.Fatalf("round trip: %+v %v", back, payload)
+	}
+	bad := UDP{Length: 4}.Marshal(nil)
+	if _, _, err := UnmarshalUDP(bad); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+}
+
+func TestVXLANRoundTrip(t *testing.T) {
+	f := func(vni uint32) bool {
+		vni &= 0xffffff
+		back, inner, err := UnmarshalVXLAN(VXLAN{VNI: vni}.Marshal(nil))
+		return err == nil && back.VNI == vni && len(inner) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	noFlag := make([]byte, 8)
+	if _, _, err := UnmarshalVXLAN(noFlag); err == nil {
+		t.Fatal("missing I flag accepted")
+	}
+}
+
+func TestChecksumRFC1071(t *testing.T) {
+	// Classic example from RFC 1071 discussions.
+	data := []byte{0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7}
+	if got := Checksum(data); got != 0xb861 {
+		t.Fatalf("checksum = %#x, want 0xb861", got)
+	}
+	// Validating a header with its checksum in place yields zero.
+	data[10], data[11] = 0xb8, 0x61
+	if got := Checksum(data); got != 0 {
+		t.Fatalf("self-check = %#x, want 0", got)
+	}
+	// Odd-length input.
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestEncapDecapPipeline(t *testing.T) {
+	inner := TCPSegment(0xc0a80001, 0x0a000001,
+		TCP{SrcPort: 54321, DstPort: 443, Seq: 1000, Flags: FlagSYN, Window: 65535},
+		nil)
+	frame := EncapVXLAN(0x0b000001, 0x0b000002, 0x00abcdef, inner)
+
+	vni, gotInner, err := DecapVXLAN(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vni != 0x00abcdef {
+		t.Fatalf("vni = %#x", vni)
+	}
+	if !bytes.Equal(gotInner, inner) {
+		t.Fatal("inner frame mangled")
+	}
+	ip, tcp, payload, err := ParseTCPSegment(gotInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.SrcIP != 0xc0a80001 || tcp.DstPort != 443 || tcp.Flags != FlagSYN || len(payload) != 0 {
+		t.Fatalf("parsed: %+v %+v", ip, tcp)
+	}
+}
+
+func TestDecapRejectsNonVXLAN(t *testing.T) {
+	// TCP (not UDP) outer.
+	notUDP := TCPSegment(1, 2, TCP{SrcPort: 1, DstPort: 2}, nil)
+	if _, _, err := DecapVXLAN(notUDP); err == nil {
+		t.Fatal("TCP outer accepted")
+	}
+	// UDP to the wrong port.
+	udpLen := UDPHeaderLen + VXLANHeaderLen
+	frame := IPv4{TTL: 64, Protocol: ProtoUDP, SrcIP: 1, DstIP: 2,
+		TotalLen: uint16(IPv4HeaderLen + udpLen)}.Marshal(nil)
+	frame = UDP{SrcPort: 1, DstPort: 53, Length: uint16(udpLen)}.Marshal(frame)
+	frame = VXLAN{VNI: 1}.Marshal(frame)
+	if _, _, err := DecapVXLAN(frame); err == nil {
+		t.Fatal("wrong UDP port accepted")
+	}
+}
+
+func TestPayloadCarriage(t *testing.T) {
+	body := []byte("GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+	seg := TCPSegment(1, 2, TCP{SrcPort: 9, DstPort: 80, Flags: FlagPSH | FlagACK}, body)
+	_, _, payload, err := ParseTCPSegment(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, body) {
+		t.Fatalf("payload %q", payload)
+	}
+}
+
+func BenchmarkEncapDecap(b *testing.B) {
+	inner := TCPSegment(1, 2, TCP{SrcPort: 3, DstPort: 4, Flags: FlagSYN}, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame := EncapVXLAN(5, 6, 7, inner)
+		if _, _, err := DecapVXLAN(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package shm
+
+import "fmt"
+
+// Worker Status Table layout (§4.1 stage 1, §5.3.1).
+//
+// Each worker owns one cache-line-sized slot of slotWords words so that
+// writers on different cores never share a line (false-sharing avoidance;
+// the paper pads per-worker partitions the same way). The three published
+// metrics are exactly the paper's: the timestamp of the last event-loop
+// entry (hang detection), the pending-event count ("busy"), and the
+// accumulated connection count ("conn").
+const (
+	offLoopEnter = 0 // virtual ns of last event-loop entry
+	offBusy      = 1 // pending events: += epoll_wait batch, -- per handled event
+	offConn      = 2 // accumulated connections: ++ accept, -- close
+	offGen       = 3 // write generation, diagnostics only
+	slotWords    = 8 // one 64-byte cache line
+)
+
+// Metrics is a point-in-time copy of one worker's WST slot. Reads are
+// lock-free: values may come from different instants (torn across variables
+// but never within one), exactly the tolerance the paper argues is safe.
+type Metrics struct {
+	LoopEnterNS int64 // timestamp of last event-loop entry
+	Busy        int64 // pending (delivered but unhandled) events
+	Conn        int64 // live accumulated connections
+}
+
+// WST is the shared Worker Status Table: one padded slot per worker inside a
+// Region, plus the single selection-bitmap word the schedulers publish to.
+type WST struct {
+	region  *Region
+	workers int
+	selWord int // region index of the selection bitmap word
+}
+
+// NewWST creates a table for n workers (1..64 for a single group; grouped
+// tables for larger fleets are built from several WSTs, see Grouped).
+func NewWST(n int) *WST {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("shm: worker count %d outside 1..64 (use Grouped for more)", n))
+	}
+	// n slots plus one trailing line holding the selection word.
+	r := NewRegion(n*slotWords + slotWords)
+	return &WST{region: r, workers: n, selWord: n * slotWords}
+}
+
+// Workers returns the number of worker slots.
+func (t *WST) Workers() int { return t.workers }
+
+func (t *WST) base(id int) int {
+	if id < 0 || id >= t.workers {
+		panic(fmt.Sprintf("shm: worker id %d out of range [0,%d)", id, t.workers))
+	}
+	return id * slotWords
+}
+
+// Writer returns the update handle a worker embeds in its event loop. Each
+// worker must use only its own Writer; that partitioning is what makes the
+// table lock-free on the write side.
+func (t *WST) Writer(id int) Writer {
+	return Writer{region: t.region, base: t.base(id)}
+}
+
+// Writer publishes one worker's metrics. The methods map one-to-one onto the
+// instrumentation lines Hermes adds to the epoll event loop (Fig. 9):
+// SetLoopEnter ↔ shm_avail_update, AddBusy ↔ shm_busy_count,
+// AddConn ↔ shm_conn_count.
+type Writer struct {
+	region *Region
+	base   int
+}
+
+// SetLoopEnter records the timestamp of entering the event loop.
+func (w Writer) SetLoopEnter(ns int64) {
+	w.region.StoreInt64(w.base+offLoopEnter, ns)
+	w.region.Add(w.base+offGen, 1)
+}
+
+// AddBusy adjusts the pending-event count by delta.
+func (w Writer) AddBusy(delta int64) {
+	w.region.Add(w.base+offBusy, delta)
+}
+
+// AddConn adjusts the accumulated-connection count by delta.
+func (w Writer) AddConn(delta int64) {
+	w.region.Add(w.base+offConn, delta)
+}
+
+// Read returns this worker's own metrics (used by tests and diagnostics).
+func (w Writer) Read() Metrics {
+	return Metrics{
+		LoopEnterNS: w.region.LoadInt64(w.base + offLoopEnter),
+		Busy:        w.region.LoadInt64(w.base + offBusy),
+		Conn:        w.region.LoadInt64(w.base + offConn),
+	}
+}
+
+// Generation returns the number of loop entries published (diagnostics).
+func (w Writer) Generation() uint64 { return w.region.Load(w.base + offGen) }
+
+// Snapshot reads every worker's metrics without locks, appending into dst
+// (reused across calls to stay allocation-free on the scheduling path) and
+// returning the extended slice. Per-variable reads are atomic; the snapshot
+// as a whole is not, by design (§5.3.1: "the most recently updated data
+// better reflects the workers' runtime status").
+func (t *WST) Snapshot(dst []Metrics) []Metrics {
+	for id := 0; id < t.workers; id++ {
+		base := id * slotWords
+		dst = append(dst, Metrics{
+			LoopEnterNS: t.region.LoadInt64(base + offLoopEnter),
+			Busy:        t.region.LoadInt64(base + offBusy),
+			Conn:        t.region.LoadInt64(base + offConn),
+		})
+	}
+	return dst
+}
+
+// StoreSelection publishes the coarse-filter result bitmap with a single
+// atomic store. Concurrent schedulers race benignly: last write wins, and
+// every write is a complete, valid bitmap (§5.3.2 "concurrency management of
+// scheduling results").
+func (t *WST) StoreSelection(bitmap uint64) {
+	t.region.Store(t.selWord, bitmap)
+}
+
+// LoadSelection reads the current selection bitmap.
+func (t *WST) LoadSelection() uint64 {
+	return t.region.Load(t.selWord)
+}

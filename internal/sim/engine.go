@@ -1,0 +1,162 @@
+// Package sim is a deterministic discrete-event simulation engine. It stands
+// in for wall-clock execution on a pinned multicore VM: the simulated kernel,
+// the worker event loops, and the traffic generators all advance on one
+// virtual clock, so every experiment in this repository is reproducible
+// bit-for-bit from its seed.
+//
+// Virtual time is int64 nanoseconds. Events scheduled for the same instant
+// fire in scheduling order (stable FIFO tie-break), which keeps causality
+// intuitive: a worker that finishes a request at t and a SYN arriving at t
+// are processed in the order they were enqueued.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Timer is a handle to a scheduled event that can be cancelled (used for
+// epoll_wait timeouts that are raced by event arrivals).
+type Timer struct {
+	at       int64
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when popped
+	canceled bool
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Returns true if the timer was pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.canceled || t.index == -1 {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled and not cancelled.
+func (t *Timer) Pending() bool { return t != nil && !t.canceled && t.index != -1 }
+
+// When returns the virtual time the timer fires at.
+func (t *Timer) When() int64 { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Engine is the event loop. Not safe for concurrent use: simulations are
+// single-goroutine by design (determinism).
+type Engine struct {
+	now  int64
+	seq  uint64
+	heap eventHeap
+	rng  *rand.Rand
+
+	// Executed counts fired (non-cancelled) events, for diagnostics.
+	Executed uint64
+}
+
+// NewEngine creates an engine at time 0 with a deterministic RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Rand returns the engine's deterministic RNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute virtual time t (≥ now) and returns its timer.
+func (e *Engine) At(t int64, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %d < %d", t, e.now))
+	}
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, tm)
+	return tm
+}
+
+// After schedules fn d nanoseconds from now.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+int64(d), fn)
+}
+
+// Step fires the next event. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		t := heap.Pop(&e.heap).(*Timer)
+		if t.canceled {
+			continue
+		}
+		e.now = t.at
+		e.Executed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ deadline, then advances the clock to the
+// deadline (even if idle). Events scheduled exactly at the deadline fire.
+func (e *Engine) RunUntil(deadline int64) {
+	for len(e.heap) > 0 {
+		// Peek.
+		next := e.heap[0]
+		if next.canceled {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor runs for a virtual duration from the current time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + int64(d)) }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var hits []int64
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5*time.Nanosecond, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.At(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel should fail")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if e.Executed != 0 {
+		t.Fatalf("Executed = %d, want 0", e.Executed)
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(10, func() {})
+	e.Run()
+	if tm.Cancel() {
+		t.Fatal("cancel after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int64
+	for _, at := range []int64{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(10)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 5,10", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Fatalf("fired = %v, Now = %d", fired, e.Now())
+	}
+}
+
+func TestRunUntilIdleAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %d, want 42", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(time.Millisecond)
+	e.RunFor(time.Millisecond)
+	if e.Now() != 2*int64(time.Millisecond) {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		e.After(-time.Second, func() {}) // clamps to now
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := NewEngine(7), NewEngine(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same-seed engines diverged")
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine(1)
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after step = %d", e.Pending())
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 || e.N() != 0 {
+		t.Fatal("empty estimator")
+	}
+	e.Add(3)
+	e.Add(1)
+	e.Add(2)
+	if got := e.Value(); got != 2 {
+		t.Fatalf("median of {1,2,3} = %v", got)
+	}
+}
+
+func TestP2MatchesExactOnDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	distros := []struct {
+		name string
+		gen  func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() * 100 }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 10 }},
+		{"normal", func() float64 { return 50 + 10*rng.NormFloat64() }},
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()) }},
+	}
+	for _, d := range distros {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			e := NewP2Quantile(p)
+			var exact Sample
+			const n = 60_000
+			for i := 0; i < n; i++ {
+				v := d.gen()
+				e.Add(v)
+				exact.Add(v)
+			}
+			want := exact.Percentile(p * 100)
+			got := e.Value()
+			// P² converges within a few percent of the population spread.
+			spread := exact.Percentile(99.9) - exact.Min()
+			if math.Abs(got-want) > 0.05*spread {
+				t.Errorf("%s P%v: p2 %.4g vs exact %.4g (spread %.4g)",
+					d.name, p*100, got, want, spread)
+			}
+			if e.N() != n {
+				t.Fatalf("N = %d", e.N())
+			}
+		}
+	}
+}
+
+func TestP2MonotoneMarkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewP2Quantile(0.95)
+	for i := 0; i < 50_000; i++ {
+		e.Add(rng.ExpFloat64() * 100)
+		if i >= 5 {
+			for j := 1; j < 5; j++ {
+				if e.q[j] < e.q[j-1] {
+					t.Fatalf("marker heights not monotone at %d: %v", i, e.q)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	e := NewP2Quantile(0.99)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Add(float64(i % 1000))
+	}
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Fatal("empty CDF must be nil")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 0.011 {
+			t.Errorf("P%.0f = %v, want ≈%v", c.p, got, c.want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSamplePercentileSingle(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if s.Percentile(p) != 7 {
+			t.Fatalf("P%v of single sample = %v", p, s.Percentile(p))
+		}
+	}
+}
+
+func TestSampleAddAfterQuery(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	_ = s.Percentile(50)
+	s.Add(2) // must invalidate the sort
+	if got := s.Percentile(50); got != 2 {
+		t.Fatalf("P50 after late add = %v, want 2", got)
+	}
+}
+
+func TestSampleMeanStd(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if math.Abs(s.Stddev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", s.Stddev())
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(2_500_000) // 2.5ms
+	if s.Mean() != 2.5 {
+		t.Fatalf("ms conversion = %v", s.Mean())
+	}
+}
+
+func TestWelfordMatchesSample(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Sample
+		var w Welford
+		for _, r := range raw {
+			v := float64(r)
+			s.Add(v)
+			w.Add(v)
+		}
+		return math.Abs(s.Mean()-w.Mean()) < 1e-9 &&
+			math.Abs(s.Stddev()-w.Stddev()) < 1e-9 &&
+			w.N() == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStddevHelper(t *testing.T) {
+	m, sd := MeanStddev([]float64{1, 2, 3, 4})
+	if m != 2.5 || math.Abs(sd-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("MeanStddev = %v, %v", m, sd)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	var s Sample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.ExpFloat64() * 10)
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][0] < cdf[i-1][0] || cdf[i][1] < cdf[i-1][1] {
+			t.Fatalf("CDF not monotonic at %d: %v -> %v", i, cdf[i-1], cdf[i])
+		}
+	}
+	last := cdf[len(cdf)-1]
+	if last[1] != 1 {
+		t.Fatalf("CDF must end at 1, got %v", last[1])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(0.5) // bucket 0
+	h.Add(1)   // bucket 0
+	h.Add(2)   // bucket 1
+	h.Add(3)   // bucket 1
+	h.Add(16)  // bucket 4
+	h.Add(1024)
+	h.Add(1 << 30) // 1024 and 2^30 both overflow → last bucket
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(1) != 2 || h.Bucket(4) != 1 || h.Bucket(9) != 2 {
+		t.Fatalf("buckets: %v %v %v %v", h.Bucket(0), h.Bucket(1), h.Bucket(4), h.Bucket(9))
+	}
+	cdf := h.CDF()
+	if cdf[len(cdf)-1][1] != 1 {
+		t.Fatal("histogram CDF must end at 1")
+	}
+	empty := NewHistogram(4)
+	if empty.CDF() != nil {
+		t.Fatal("empty histogram CDF must be nil")
+	}
+}
+
+func TestFormatMS(t *testing.T) {
+	cases := map[float64]string{
+		0.439:  "0.439",
+		21.93:  "21.93",
+		1480:   "1480",
+		121.27: "121",
+	}
+	for in, want := range cases {
+		if got := FormatMS(in); got != want {
+			t.Errorf("FormatMS(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Case 1", "mode", "avg (ms)", "thr")
+	tb.AddRow("exclusive", 0.890, 76100)
+	tb.AddRow("hermes", 0.5950, "78k")
+	out := tb.Render()
+	for _, frag := range []string{"== Case 1 ==", "mode", "exclusive", "0.89", "78k", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the prefix width.
+	if len(lines[1]) == 0 || lines[1][0] != 'm' {
+		t.Fatal("header misplaced")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2, 3) // extra cell widens the table
+	tb.AddRow(4)
+	out := tb.Render()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "4") {
+		t.Fatalf("ragged rows mishandled:\n%s", out)
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hermes/internal/kernel"
+	"hermes/internal/l7lb"
+	"hermes/internal/sim"
+	"hermes/internal/workload"
+)
+
+func sampleTrace(t *testing.T, seed int64) *Trace {
+	t.Helper()
+	spec := workload.Case3([]uint16{8080, 8081})
+	spec.ConnRate = 2000
+	tr, err := Sample(spec, 100*time.Millisecond, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSampleShape(t *testing.T) {
+	tr := sampleTrace(t, 1)
+	// 2000/s over 100ms ≈ 200 conns.
+	if len(tr.Conns) < 130 || len(tr.Conns) > 280 {
+		t.Fatalf("conns = %d, want ≈200", len(tr.Conns))
+	}
+	if tr.Requests() < len(tr.Conns)*60 {
+		t.Fatalf("requests = %d for %d conns (case3 has 64-128/conn)", tr.Requests(), len(tr.Conns))
+	}
+	prev := int64(-1)
+	for _, c := range tr.Conns {
+		if c.ArrivalNS < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = c.ArrivalNS
+		if c.ArrivalNS >= tr.DurationNS {
+			t.Fatal("arrival beyond window")
+		}
+		if len(c.Requests) == 0 {
+			t.Fatal("conn without requests")
+		}
+		off := int64(-1)
+		for _, r := range c.Requests {
+			if r.OffsetNS < off {
+				t.Fatal("request offsets not monotone")
+			}
+			off = r.OffsetNS
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, b := sampleTrace(t, 7), sampleTrace(t, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed traces differ")
+	}
+}
+
+func TestSampleRejectsBadSpec(t *testing.T) {
+	if _, err := Sample(workload.Spec{}, time.Second, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tr := sampleTrace(t, 3)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json\n",
+		`{"magic":"WRONG","version":1,"conns":0}` + "\n",
+		`{"magic":"HERMES-TRACE","version":99,"conns":0}` + "\n",
+		`{"magic":"HERMES-TRACE","version":1,"conns":5}` + "\n", // truncated body
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c[:min(20, len(c))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestReplayDeliversIdenticalLoadAcrossModes(t *testing.T) {
+	tr := sampleTrace(t, 5)
+	counts := map[l7lb.Mode]uint64{}
+	for _, mode := range []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeHermes} {
+		eng := sim.NewEngine(99)
+		cfg := l7lb.DefaultConfig(mode)
+		cfg.Workers = 4
+		cfg.Ports = []uint16{8080, 8081}
+		lb, err := l7lb.New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb.Start()
+		scheduled := tr.Replay(lb, 1)
+		if scheduled != tr.Requests() {
+			t.Fatalf("scheduled %d of %d", scheduled, tr.Requests())
+		}
+		eng.RunUntil(int64(5 * time.Second))
+		counts[mode] = lb.Completed
+	}
+	if counts[l7lb.ModeExclusive] != counts[l7lb.ModeHermes] {
+		t.Fatalf("identical trace completed differently on idle LB: %v", counts)
+	}
+	if counts[l7lb.ModeHermes] == 0 {
+		t.Fatal("replay produced nothing")
+	}
+}
+
+func TestReplayRateCompressesTime(t *testing.T) {
+	tr := sampleTrace(t, 6)
+	lastCompletion := func(rate float64) int64 {
+		eng := sim.NewEngine(1)
+		cfg := l7lb.DefaultConfig(l7lb.ModeReuseport)
+		cfg.Workers = 8
+		cfg.Ports = []uint16{8080, 8081}
+		lb, err := l7lb.New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last int64
+		lb.OnResponse = func(_ *kernel.Conn, _ l7lb.Work) { last = eng.Now() }
+		lb.Start()
+		tr.Replay(lb, rate)
+		eng.RunUntil(int64(30 * time.Second))
+		if lb.Completed == 0 {
+			t.Fatal("replay produced nothing")
+		}
+		return last
+	}
+	t1 := lastCompletion(1)
+	t3 := lastCompletion(3)
+	if t3 >= t1 {
+		t.Fatalf("3x replay finished at %d, 1x at %d; compression broken", t3, t1)
+	}
+	// Case3 trains run ~0.5s beyond the 100ms window; 3x compresses the
+	// whole schedule to roughly a third.
+	if float64(t3) > 0.6*float64(t1) {
+		t.Fatalf("3x replay too slow: %d vs %d", t3, t1)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"hermes/internal/kernel"
+	"hermes/internal/l7lb"
+)
+
+// Generator replays a Spec against one LB in open loop: Poisson connection
+// arrivals, scheduled request trains per connection, FIN after the last
+// request. Open loop is what traffic replay at a fixed rate means (§6.2
+// "replayed traffic at 2 to 3 times the original rate"): an overloaded LB
+// keeps receiving traffic and its queues grow, exactly as in production.
+type Generator struct {
+	lb   *l7lb.LB
+	spec Spec
+	rng  *rand.Rand
+
+	srcSeq uint32
+
+	// ConnsAttempted counts SYNs sent.
+	ConnsAttempted uint64
+	// ConnsRejected counts SYNs refused (queue overflow).
+	ConnsRejected uint64
+	// RequestsSent counts requests delivered (probes excluded).
+	RequestsSent uint64
+	// LiveConns tracks currently open generated connections.
+	LiveConns int
+	// PortConns / PortRequests break arrivals down by tenant port.
+	PortConns    map[uint16]uint64
+	PortRequests map[uint16]uint64
+}
+
+// NewGenerator builds a generator for the spec. The generator derives its
+// randomness from the LB's engine RNG, so a run is fully determined by the
+// engine seed.
+func NewGenerator(lb *l7lb.LB, spec Spec) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		lb:           lb,
+		spec:         spec,
+		rng:          lb.Eng.Rand(),
+		PortConns:    make(map[uint16]uint64),
+		PortRequests: make(map[uint16]uint64),
+	}, nil
+}
+
+// Run schedules connection arrivals over the window [now, now+d). Request
+// trains may extend past the window; run the engine as long as you want to
+// observe them.
+func (g *Generator) Run(d time.Duration) {
+	g.scheduleNextConn(g.lb.Eng.Now(), g.lb.Eng.Now()+int64(d))
+}
+
+// RunWindow schedules arrivals over the absolute virtual window
+// [start, end), for phased traffic (diurnal slices, staged surges). start
+// must not be in the engine's past.
+func (g *Generator) RunWindow(start, end time.Duration) {
+	g.scheduleNextConn(int64(start), int64(end))
+}
+
+func (g *Generator) scheduleNextConn(prev, end int64) {
+	gap := int64(g.rng.ExpFloat64() * float64(time.Second) / g.spec.ConnRate)
+	next := prev + gap
+	if next >= end {
+		return
+	}
+	g.lb.Eng.At(next, func() {
+		g.openConn()
+		g.scheduleNextConn(next, end)
+	})
+}
+
+func (g *Generator) pickPort() uint16 {
+	if g.spec.PortWeights != nil {
+		return g.spec.Ports[PickWeighted(g.rng, g.spec.PortWeights)]
+	}
+	return g.spec.Ports[g.rng.Intn(len(g.spec.Ports))]
+}
+
+func (g *Generator) openConn() {
+	g.srcSeq++
+	port := g.pickPort()
+	tuple := kernel.FourTuple{
+		SrcIP:   g.rng.Uint32(),
+		SrcPort: uint16(1024 + g.srcSeq%60000),
+		DstIP:   0x0a00_0001,
+		DstPort: port,
+	}
+	g.ConnsAttempted++
+	conn, ok := g.lb.NS.DeliverSYN(tuple, nil)
+	if !ok {
+		g.ConnsRejected++
+		return
+	}
+	g.LiveConns++
+	g.PortConns[port]++
+
+	reqs := int(g.spec.ReqPerConn.Sample(g.rng))
+	if reqs < 1 {
+		reqs = 1
+	}
+	delay := int64(g.spec.FirstReqDelayNS.Sample(g.rng))
+	g.scheduleRequest(conn, port, reqs, 1, g.lb.Eng.Now()+delay)
+}
+
+func (g *Generator) scheduleRequest(conn *kernel.Conn, port uint16, total, idx int, at int64) {
+	if at < g.lb.Eng.Now() {
+		at = g.lb.Eng.Now()
+	}
+	g.lb.Eng.At(at, func() {
+		if conn.Sock().Closed() {
+			g.LiveConns--
+			return
+		}
+		last := idx == total
+		g.RequestsSent++
+		g.PortRequests[port]++
+		g.lb.NS.DeliverData(conn, l7lb.Work{
+			ArrivalNS: g.lb.Eng.Now(),
+			Cost:      time.Duration(g.spec.CostNS.Sample(g.rng)),
+			Size:      int(g.spec.SizeBytes.Sample(g.rng)),
+			RespSize:  int(g.spec.RespBytes.Sample(g.rng)),
+			Close:     last,
+			Tenant:    port,
+		})
+		if last {
+			g.LiveConns--
+			return
+		}
+		gap := int64(g.spec.InterReqNS.Sample(g.rng))
+		g.scheduleRequest(conn, port, total, idx+1, g.lb.Eng.Now()+gap)
+	})
+}

@@ -1,0 +1,84 @@
+package workload
+
+import "math/rand"
+
+// Region approximates one of the paper's four global regions: a mixture of
+// the four case models in the proportions of Table 4, plus Region3's
+// WebSocket share (§2.3, Table 1).
+type Region struct {
+	// Name is the region label.
+	Name string
+	// CaseShare is the fraction of traffic in cases 1..4 (Table 4 rows).
+	CaseShare [4]float64
+	// WebSocketShare adds the Region3 special on top of the case mix.
+	WebSocketShare float64
+}
+
+// Regions returns the four regional mixes with Table 4's case distribution.
+func Regions() []Region {
+	return []Region{
+		{Name: "Region1", CaseShare: [4]float64{0.1945, 0.0055, 0.6561, 0.1439}},
+		{Name: "Region2", CaseShare: [4]float64{0.0077, 0.0783, 0.0927, 0.8213}},
+		{Name: "Region3", CaseShare: [4]float64{0.066, 0.029, 0.608, 0.297}, WebSocketShare: 0.02},
+		{Name: "Region4", CaseShare: [4]float64{0.0281, 0.0741, 0.8907, 0.0071}},
+	}
+}
+
+// Specs returns the region's constituent specs with connection rates scaled
+// so the region's total request rate is totalRPS, split by CaseShare.
+func (r Region) Specs(ports []uint16, totalRPS float64) []Spec {
+	base := Cases(ports)
+	var out []Spec
+	for i, s := range base {
+		// WebSocket traffic takes its share out of the total; case shares
+		// cover the remainder.
+		share := r.CaseShare[i] * (1 - r.WebSocketShare)
+		if share <= 0 {
+			continue
+		}
+		targetRPS := totalRPS * share
+		s.ConnRate *= targetRPS / s.OfferedRPS()
+		s.Name = r.Name + "/" + s.Name
+		out = append(out, s)
+	}
+	if r.WebSocketShare > 0 {
+		ws := WebSocket(ports)
+		ws.ConnRate = totalRPS * r.WebSocketShare / ws.ReqPerConn.Mean()
+		ws.Name = r.Name + "/" + ws.Name
+		out = append(out, ws)
+	}
+	return out
+}
+
+// SampleRequest draws one (sizeBytes, processingNS) pair from the region's
+// request population — the direct way to regenerate Table 1's size and
+// processing-time distributions. Sampling is per *request*, so case shares
+// weight request counts, matching how the paper's measurements count
+// WebSocket connections as single requests.
+func (r Region) SampleRequest(rng *rand.Rand, ports []uint16) (size float64, procNS float64) {
+	specs := Cases(ports)
+	weights := r.CaseShare[:]
+	if r.WebSocketShare > 0 {
+		specs = append(specs, WebSocket(ports))
+		weights = append(append([]float64(nil), weights...), r.WebSocketShare)
+	}
+	i := PickWeighted(rng, weights)
+	s := specs[i]
+	return s.SizeBytes.Sample(rng), s.CostNS.Sample(rng)
+}
+
+// RulesPerPort samples a forwarding-rule count per tenant port for Fig. A5:
+// most ports carry a handful of rules, a long tail carries hundreds
+// (the paper's point: rule diversity kills code locality).
+func RulesPerPort(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	d := Pareto{XMin: 1, Alpha: 1.2}
+	for i := range out {
+		v := int(d.Sample(rng))
+		if v > 2000 {
+			v = 2000
+		}
+		out[i] = v
+	}
+	return out
+}
