@@ -3,14 +3,19 @@
 //
 //	hermes-bench -exp table3
 //	hermes-bench -exp all -seed 7
+//	hermes-bench -exp table3 -parallel 8
 //
 // Output is plain text, one paper-style table or series per experiment.
+// Independent experiment cells (each owns its own engine and seed) fan out
+// over -parallel worker goroutines; results are assembled in cell order, so
+// the output is byte-identical at every -parallel setting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -20,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table5, fig2..fig15, figA5, walkthrough, all, list)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		workers = flag.Int("workers", 16, "workers per LB device")
-		window  = flag.Duration("window", time.Second, "measurement window (virtual time)")
-		scale   = flag.Float64("scale", 0.5, "workload rate scale")
-		tenants = flag.Int("tenants", 8, "tenant ports per LB")
+		exp      = flag.String("exp", "all", "experiment id (table1..table5, fig2..fig15, figA5, walkthrough, all, list)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 16, "workers per LB device")
+		window   = flag.Duration("window", time.Second, "measurement window (virtual time)")
+		scale    = flag.Float64("scale", 0.5, "workload rate scale")
+		tenants  = flag.Int("tenants", 8, "tenant ports per LB")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "cell-level fan-out (independent sims per experiment); 1 = sequential")
 	)
 	flag.Parse()
 
@@ -35,6 +41,7 @@ func main() {
 	opts.Window = *window
 	opts.RateScale = *scale
 	opts.Tenants = *tenants
+	opts.Parallel = *parallel
 
 	experiments := bench.Experiments()
 	if *exp == "list" {
@@ -44,7 +51,11 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Println(n)
+			if c := experiments[n].Cells; c != nil {
+				fmt.Printf("%s\t(%d parallel cells)\n", n, c(opts))
+			} else {
+				fmt.Printf("%s\t(sequential)\n", n)
+			}
 		}
 		return
 	}

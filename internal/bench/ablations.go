@@ -60,7 +60,9 @@ func Ablations(opts Options) string {
 
 	tb := stats.NewTable("Ablations — Hermes design choices under a hang-prone mix",
 		"variant", "avg (ms)", "P99 (ms)", "thr (kRPS)")
-	for _, v := range variants {
+	runs := make([]*RunResult, len(variants))
+	forEachCell(opts.Parallel, len(variants), func(i int) {
+		v := variants[i]
 		run, err := Run(RunConfig{
 			Mode:      l7lb.ModeHermes,
 			Workers:   opts.Workers,
@@ -75,6 +77,10 @@ func Ablations(opts Options) string {
 		if err != nil {
 			panic(fmt.Sprintf("bench: ablation %q: %v", v.name, err))
 		}
+		runs[i] = run
+	})
+	for i, v := range variants {
+		run := runs[i]
 		tb.AddRow(v.name, stats.FormatMS(run.AvgMS), stats.FormatMS(run.P99MS),
 			fmt.Sprintf("%.1f", run.ThroughputKRPS))
 	}

@@ -30,7 +30,9 @@ func Baselines(opts Options) string {
 		l7lb.ModeHermes:       "dispatch on the eBPF VM",
 		l7lb.ModeHermesNative: "dispatch native (JIT stand-in)",
 	}
-	for _, mode := range AllModes {
+	runs := make([]*RunResult, len(AllModes))
+	forEachCell(opts.Parallel, len(AllModes), func(i int) {
+		mode := AllModes[i]
 		run, err := Run(RunConfig{
 			Mode:    mode,
 			Workers: opts.Workers,
@@ -44,6 +46,10 @@ func Baselines(opts Options) string {
 		if err != nil {
 			panic(fmt.Sprintf("bench: baselines %v: %v", mode, err))
 		}
+		runs[i] = run
+	})
+	for i, mode := range AllModes {
+		run := runs[i]
 		tb.AddRow(mode.String(),
 			stats.FormatMS(run.AvgMS), stats.FormatMS(run.P99MS),
 			fmt.Sprintf("%.1f", run.ThroughputKRPS),

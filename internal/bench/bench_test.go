@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -237,6 +240,89 @@ func TestFig12HitsPaperReduction(t *testing.T) {
 	out := Fig12(fastOptions())
 	if !strings.Contains(out, "18.9%") {
 		t.Fatalf("fig12 output missing 18.9%% reduction:\n%s", out)
+	}
+}
+
+// forEachCell is the harness's fan-out primitive: every index must be
+// visited exactly once, at any pool size (including pools wider than the
+// cell count and the sequential fallback).
+func TestForEachCellVisitsEachIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ parallel, n int }{
+		{1, 17}, {4, 17}, {32, 17}, {0, 17}, {8, 1}, {8, 0}, {-1, 5},
+	} {
+		visits := make([]int32, tc.n)
+		forEachCell(tc.parallel, tc.n, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("parallel=%d n=%d: index %d visited %d times",
+					tc.parallel, tc.n, i, v)
+			}
+		}
+	}
+}
+
+// parallelTestOptions shrinks the sweep experiments enough that running the
+// same grid at several pool widths stays test-sized.
+func parallelTestOptions(parallel int) Options {
+	o := fastOptions()
+	o.Window = 50 * time.Millisecond
+	o.Drain = 100 * time.Millisecond
+	o.Parallel = parallel
+	return o
+}
+
+// The harness's headline guarantee: cell-level parallelism never changes a
+// byte of experiment output. Same seed ⇒ identical rendered text whether
+// cells run on one goroutine or eight.
+func TestParallelByteIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep comparison is expensive")
+	}
+	exps := Experiments()
+	for _, name := range []string{"table3", "table2", "baselines", "fig15"} {
+		seq := exps[name].Run(parallelTestOptions(1))
+		par := exps[name].Run(parallelTestOptions(8))
+		if seq != par {
+			t.Errorf("%s: output differs between -parallel 1 and -parallel 8\n--- seq ---\n%s\n--- par ---\n%s",
+				name, seq, par)
+		}
+	}
+}
+
+// Every registry entry that declares cells must declare more than one —
+// that's the whole point of the fan-out — and the declared table3 count
+// must match its grid.
+func TestRegistryCellCounts(t *testing.T) {
+	o := fastOptions()
+	for name, e := range Experiments() {
+		if e.Cells == nil {
+			continue
+		}
+		if n := e.Cells(o); n < 2 {
+			t.Errorf("%s declares %d cells; parallel experiments need ≥2", name, n)
+		}
+	}
+	if n := Experiments()["table3"].Cells(o); n != 4*len(LevelScales)*len(Table3Modes) {
+		t.Errorf("table3 cells = %d", n)
+	}
+}
+
+// BenchmarkHarnessParallel tracks the wall-clock effect of cell fan-out on
+// the widest sweep (table3). On a multi-core host parallel=GOMAXPROCS should
+// approach a core-count speedup over parallel=1; on one core they tie.
+func BenchmarkHarnessParallel(b *testing.B) {
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", p), func(b *testing.B) {
+			o := parallelTestOptions(p)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := Table3(o); len(res.Cells) != 4 {
+					b.Fatal("bad grid")
+				}
+			}
+		})
 	}
 }
 

@@ -22,7 +22,10 @@ func Fig2(opts Options) string {
 	spec.ReqPerConn = workload.Const(1)
 	spec.InterReqNS = workload.Const(0)
 	spec.FirstReqDelayNS = workload.Const(float64(10 * time.Second)) // stay open
-	for _, mode := range []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeExclusiveRR, l7lb.ModeIOUring, l7lb.ModeReuseport, l7lb.ModeHermes} {
+	modes := []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeExclusiveRR, l7lb.ModeIOUring, l7lb.ModeReuseport, l7lb.ModeHermes}
+	rows := make([][]string, len(modes))
+	forEachCell(opts.Parallel, len(modes), func(i int) {
+		mode := modes[i]
 		run, err := Run(RunConfig{
 			Mode:    mode,
 			Workers: 8,
@@ -36,11 +39,14 @@ func Fig2(opts Options) string {
 		}
 		counts := run.LB.WorkerConnCounts()
 		f := make([]float64, len(counts))
-		for i, c := range counts {
-			f[i] = float64(c)
+		for j, c := range counts {
+			f[j] = float64(c)
 		}
 		_, sd := stats.MeanStddev(f)
-		tb.AddRow(mode.String(), fmt.Sprintf("%v", counts), fmt.Sprintf("%.1f", sd))
+		rows[i] = []string{mode.String(), fmt.Sprintf("%v", counts), fmt.Sprintf("%.1f", sd)}
+	})
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1], r[2])
 	}
 	return tb.Render()
 }
@@ -68,12 +74,12 @@ func Fig3(opts Options) string {
 	const tick = 250 * time.Millisecond
 	var prevDone uint64
 	prevBusy := make([]int64, len(lb.Workers))
+	utils := make([]float64, len(lb.Workers))
 	for t := tick; t <= 6*time.Second; t += tick {
 		eng.RunUntil(int64(t))
 		rate := float64(lb.Completed-prevDone) / tick.Seconds() / 1000
 		prevDone = lb.Completed
 		live := 0
-		utils := make([]float64, len(lb.Workers))
 		for i, w := range lb.Workers {
 			live += w.OpenConns()
 			b := w.BusyNS(eng.Now())

@@ -53,8 +53,12 @@ func measureDelayedRate(opts Options, mode l7lb.Mode) float64 {
 // per-mode delay rates are measured in simulation; the canary timeline
 // converts them into the daily series.
 func Fig11(opts Options) string {
-	oldRate := measureDelayedRate(opts, l7lb.ModeExclusive)
-	newRate := measureDelayedRate(opts, l7lb.ModeHermes)
+	var rates [2]float64
+	rollout := []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeHermes}
+	forEachCell(opts.Parallel, len(rollout), func(i int) {
+		rates[i] = measureDelayedRate(opts, rollout[i])
+	})
+	oldRate, newRate := rates[0], rates[1]
 	if newRate >= oldRate {
 		// Guard for pathological seeds; the shape requires old > new.
 		newRate = oldRate / 500
@@ -148,7 +152,10 @@ func Fig13(opts Options) string {
 	total := 2 * day
 	const slices = 16
 	sliceDur := total / slices
-	for _, mode := range Table3Modes {
+	type fig13Row struct{ cpu, conn string }
+	rows := make([]fig13Row, len(Table3Modes))
+	forEachCell(opts.Parallel, len(Table3Modes), func(mi int) {
+		mode := Table3Modes[mi]
 		eng := newSimEngine(opts.Seed)
 		cfg := l7lb.DefaultConfig(mode)
 		cfg.Workers = opts.Workers
@@ -178,11 +185,11 @@ func Fig13(opts Options) string {
 
 		var cpuSD, connSD stats.Sample
 		prevBusy := make([]int64, len(lb.Workers))
+		utils := make([]float64, len(lb.Workers))
+		conns := make([]float64, len(lb.Workers))
 		tick := 50 * time.Millisecond
 		for t := tick; t <= total; t += tick {
 			eng.RunUntil(int64(t))
-			utils := make([]float64, len(lb.Workers))
-			conns := make([]float64, len(lb.Workers))
 			for i, w := range lb.Workers {
 				b := w.BusyNS(eng.Now())
 				utils[i] = float64(b-prevBusy[i]) / float64(tick)
@@ -194,8 +201,13 @@ func Fig13(opts Options) string {
 			_, sd = stats.MeanStddev(conns)
 			connSD.Add(sd)
 		}
-		tb.AddRow(mode.String(), fmt.Sprintf("%.1f%%", cpuSD.Mean()*100),
-			fmt.Sprintf("%.1f", connSD.Mean()))
+		rows[mi] = fig13Row{
+			cpu:  fmt.Sprintf("%.1f%%", cpuSD.Mean()*100),
+			conn: fmt.Sprintf("%.1f", connSD.Mean()),
+		}
+	})
+	for mi, mode := range Table3Modes {
+		tb.AddRow(mode.String(), rows[mi].cpu, rows[mi].conn)
 	}
 	return tb.Render() + "paper: CPU SD 26% / 2.7% / 2.7%; conn SD 3200 / 50 / 20 (exclusive/reuseport/hermes)\n"
 }
@@ -206,10 +218,12 @@ func Fig14(opts Options) string {
 	tb := stats.NewTable("Fig 14 — coarse filter pass ratio and scheduling frequency vs load",
 		"load", "pass ratio", "scheduler calls/s (k)", "kernel syncs/s (k)")
 	ports := tenantPorts(opts.Tenants)
-	for _, level := range []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5} {
-		// Region2's case-4/case-2 heavy mix makes worker load genuinely
-		// uneven, so the coarse filter has something to filter.
-		specs := workload.Regions()[1].Specs(ports, 55_000*opts.RateScale*level)
+	// Region2's case-4/case-2 heavy mix makes worker load genuinely
+	// uneven, so the coarse filter has something to filter.
+	levels := []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5}
+	runs := make([]*RunResult, len(levels))
+	forEachCell(opts.Parallel, len(levels), func(i int) {
+		specs := workload.Regions()[1].Specs(ports, 55_000*opts.RateScale*levels[i])
 		run, err := Run(RunConfig{
 			Mode:    l7lb.ModeHermes,
 			Workers: opts.Workers,
@@ -222,7 +236,10 @@ func Fig14(opts Options) string {
 		if err != nil {
 			panic(err)
 		}
-		st := run.LB.Ctl.Stats()
+		runs[i] = run
+	})
+	for i, level := range levels {
+		st := runs[i].LB.Ctl.Stats()
 		elapsed := (opts.Window + opts.Drain/2).Seconds()
 		tb.AddRow(fmt.Sprintf("%.2fx", level),
 			fmt.Sprintf("%.2f", st.AvgPassed/float64(opts.Workers)),
@@ -242,7 +259,10 @@ func Fig15(opts Options) string {
 	// connections on the few below-average workers; large θ admits loaded
 	// ones. Both ends hurt tail latency (Fig. 15's U-shape).
 	specs := workload.Regions()[1].Specs(ports, 60_000*opts.RateScale)
-	for _, theta := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5} {
+	thetas := []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5}
+	runs := make([]*RunResult, len(thetas))
+	forEachCell(opts.Parallel, len(thetas), func(i int) {
+		theta := thetas[i]
 		run, err := Run(RunConfig{
 			Mode:    l7lb.ModeHermes,
 			Workers: opts.Workers,
@@ -258,6 +278,10 @@ func Fig15(opts Options) string {
 		if err != nil {
 			panic(err)
 		}
+		runs[i] = run
+	})
+	for i, theta := range thetas {
+		run := runs[i]
 		tb.AddRow(fmt.Sprintf("%.2f", theta), stats.FormatMS(run.AvgMS),
 			stats.FormatMS(run.P99MS), fmt.Sprintf("%.1f", run.ThroughputKRPS))
 	}

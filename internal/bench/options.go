@@ -27,6 +27,10 @@ type Options struct {
 	// RegisteredPorts is the total tenant port count bound on each device
 	// (the O(#ports) dispatch-overhead parameter, §6.2 Case 1).
 	RegisteredPorts int
+	// Parallel caps the worker pool for cell-level fan-out (independent
+	// simulations within one experiment). 0 means GOMAXPROCS; 1 forces
+	// sequential execution. Output is byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultOptions returns the standard experiment shape.

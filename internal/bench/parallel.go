@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment cells — one (case, mode, level) simulation, one device, one
+// sweep point — are embarrassingly parallel: each owns a private sim.Engine
+// seeded independently, and nothing mutable is shared between them. The
+// harness therefore fans cells out over a worker pool and assembles results
+// by cell index, so the rendered output is byte-identical to a sequential
+// run regardless of scheduling interleavings.
+
+// forEachCell runs fn(0) … fn(n-1) on up to `parallel` goroutines
+// (parallel ≤ 0 means GOMAXPROCS). fn must confine its writes to cell i's
+// own result slot; result assembly in index order is what makes the
+// parallel run deterministic.
+func forEachCell(parallel, n int, fn func(i int)) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,6 +6,11 @@ type Experiment struct {
 	Desc string
 	// Run executes the experiment and returns rendered text.
 	Run func(Options) string
+	// Cells reports how many independent simulation cells the experiment
+	// enumerates for Options.Parallel fan-out; 0 marks an inherently
+	// sequential experiment (single sim, shared RNG stream, or — like
+	// table5 — wall-clock microbenchmarks that concurrency would skew).
+	Cells func(Options) int
 }
 
 // Experiments returns the registry of all reproducible artifacts, keyed by
@@ -17,12 +22,14 @@ func Experiments() map[string]Experiment {
 			Run:  func(o Options) string { return RenderTable1(Table1(o)) },
 		},
 		"table2": {
-			Desc: "CPU imbalance within/across devices under epoll-exclusive",
-			Run:  func(o Options) string { return RenderTable2(Table2(o)) },
+			Desc:  "CPU imbalance within/across devices under epoll-exclusive",
+			Run:   func(o Options) string { return RenderTable2(Table2(o)) },
+			Cells: func(Options) int { return 24 },
 		},
 		"table3": {
-			Desc: "4 traffic cases x {exclusive,reuseport,hermes} x {light,medium,heavy}",
-			Run:  func(o Options) string { return Table3(o).Render() },
+			Desc:  "4 traffic cases x {exclusive,reuseport,hermes} x {light,medium,heavy}",
+			Run:   func(o Options) string { return Table3(o).Render() },
+			Cells: func(o Options) int { return 4 * len(LevelScales) * len(Table3Modes) },
 		},
 		"table4": {
 			Desc: "distribution of the 4 cases across regions",
@@ -33,8 +40,9 @@ func Experiments() map[string]Experiment {
 			Run:  Table5,
 		},
 		"fig2": {
-			Desc: "connection concentration: exclusive vs rr vs reuseport vs hermes",
-			Run:  Fig2,
+			Desc:  "connection concentration: exclusive vs rr vs reuseport vs hermes",
+			Run:   Fig2,
+			Cells: func(Options) int { return 5 },
 		},
 		"fig3": {
 			Desc: "lag effect: long-lived connections then synchronized surge",
@@ -49,40 +57,46 @@ func Experiments() map[string]Experiment {
 			Run:  Fig7,
 		},
 		"fig11": {
-			Desc: "delayed probes per day before/after Hermes rollout",
-			Run:  Fig11,
+			Desc:  "delayed probes per day before/after Hermes rollout",
+			Run:   Fig11,
+			Cells: func(Options) int { return 2 },
 		},
 		"fig12": {
 			Desc: "normalized unit infra cost before/after Hermes",
 			Run:  Fig12,
 		},
 		"fig13": {
-			Desc: "stddev of CPU util and #conns across workers, 3 modes",
-			Run:  Fig13,
+			Desc:  "stddev of CPU util and #conns across workers, 3 modes",
+			Run:   Fig13,
+			Cells: func(Options) int { return len(Table3Modes) },
 		},
 		"fig14": {
-			Desc: "coarse-filter pass ratio and scheduler frequency vs load",
-			Run:  Fig14,
+			Desc:  "coarse-filter pass ratio and scheduler frequency vs load",
+			Run:   Fig14,
+			Cells: func(Options) int { return 6 },
 		},
 		"fig15": {
-			Desc: "offset θ/Avg sweep: P99 and throughput",
-			Run:  Fig15,
+			Desc:  "offset θ/Avg sweep: P99 and throughput",
+			Run:   Fig15,
+			Cells: func(Options) int { return 8 },
 		},
 		"figA5": {
 			Desc: "CDF of forwarding rules per port",
 			Run:  FigA5,
 		},
 		"baselines": {
-			Desc: "every dispatch mode (incl. herd, accept-mutex, dispatcher, io_uring) on one workload",
-			Run:  Baselines,
+			Desc:  "every dispatch mode (incl. herd, accept-mutex, dispatcher, io_uring) on one workload",
+			Run:   Baselines,
+			Cells: func(Options) int { return len(AllModes) },
 		},
 		"cluster": {
 			Desc: "§6.1 methodology: mixed-mode devices behind the Fig. 1 VXLAN/L4 pipeline",
 			Run:  ClusterMethodology,
 		},
 		"ablations": {
-			Desc: "design-choice ablations: filter order, placement, single-winner, theta, fallback",
-			Run:  Ablations,
+			Desc:  "design-choice ablations: filter order, placement, single-winner, theta, fallback",
+			Run:   Ablations,
+			Cells: func(Options) int { return 8 },
 		},
 		"walkthrough": {
 			Desc: "appendix A3/A4 example: a,b1..b4 across 3 workers per mode",

@@ -112,11 +112,13 @@ func Run(rc RunConfig) (*RunResult, error) {
 
 	var cpuSD, connSD stats.Sample
 	if rc.SampleEvery > 0 {
+		// The per-tick scratch is hoisted out of the closure: a 1 s window
+		// sampled every few ms would otherwise allocate two slices per tick.
 		prevBusy := make([]int64, len(lb.Workers))
+		utils := make([]float64, len(lb.Workers))
+		conns := make([]float64, len(lb.Workers))
 		var sample func()
 		sample = func() {
-			utils := make([]float64, len(lb.Workers))
-			conns := make([]float64, len(lb.Workers))
 			for i, w := range lb.Workers {
 				b := w.BusyNS(eng.Now())
 				utils[i] = float64(b-prevBusy[i]) / float64(rc.SampleEvery)
@@ -151,6 +153,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 		res.GoodputKRPS = res.ThroughputKRPS * (1 - late/float64(res.Completed))
 	}
 	elapsed := float64(rc.Window + rc.Drain)
+	res.WorkerUtil = make([]float64, 0, len(lb.Workers))
 	for _, w := range lb.Workers {
 		res.WorkerUtil = append(res.WorkerUtil, float64(w.BusyNS(eng.Now()))/elapsed)
 	}

@@ -80,8 +80,10 @@ type Table2Result struct {
 func Table2(opts Options) Table2Result {
 	devices := 24
 	ports := tenantPorts(opts.Tenants)
-	var devs []Table2Device
-	for d := 0; d < devices; d++ {
+	// Each simulated device is an independent cell: private engine, private
+	// per-device RNG for the load level. Results land in the device's slot.
+	devs := make([]Table2Device, devices)
+	forEachCell(opts.Parallel, devices, func(d int) {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(d)*977))
 		region := workload.Regions()[d%4]
 		// Device load level varies widely across a region.
@@ -113,8 +115,8 @@ func Table2(opts Options) Table2Result {
 			sum += u
 		}
 		dev.AvgUtil = sum / float64(len(run.WorkerUtil))
-		devs = append(devs, dev)
-	}
+		devs[d] = dev
+	})
 
 	res := Table2Result{Devices: devices}
 	res.Worst, res.Best = devs[0], devs[0]

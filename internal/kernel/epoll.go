@@ -58,7 +58,7 @@ type watch struct {
 type waiter struct {
 	maxEvents int
 	fn        func([]Event)
-	timer     *sim.Timer
+	timer     sim.Timer
 }
 
 // Epoll simulates one epoll instance, owned by exactly one worker (the
@@ -72,6 +72,13 @@ type Epoll struct {
 	interest  map[*Socket]*watch
 	readyList []*watch
 	waiter    *waiter
+
+	// evBuf / emitBuf back the batch returned by collect and its LT
+	// requeue scratch. One wait per instance is outstanding at a time, so
+	// a batch is reused only after its consumer has re-entered Wait (the
+	// batch is valid until the next Wait or Kick on this instance).
+	evBuf   []Event
+	emitBuf []*watch
 
 	// Stats for Figs. 4, 5.
 	Waits            uint64 // completed epoll_wait calls
@@ -139,8 +146,8 @@ func (ep *Epoll) collect(max int) []Event {
 	if max <= 0 {
 		max = 1
 	}
-	var evs []Event
-	var emitted []*watch
+	evs := ep.evBuf[:0]
+	emitted := ep.emitBuf[:0]
 	rest := ep.readyList[:0]
 	for _, w := range ep.readyList {
 		if len(evs) >= max {
@@ -172,12 +179,17 @@ func (ep *Epoll) collect(max int) []Event {
 	// tail (as Linux requeues LT fds) so unserviced ready sockets are not
 	// starved when batches are capped by maxEvents.
 	ep.readyList = append(rest, emitted...)
+	ep.evBuf = evs
+	ep.emitBuf = emitted[:0]
 	return evs
 }
 
 // Wait models epoll_wait(maxEvents, timeout). The callback receives the
 // event batch — possibly empty on timeout or spurious wakeup — on the
-// virtual clock. A worker must not have two Waits outstanding.
+// virtual clock. A worker must not have two Waits outstanding. As with the
+// real syscall's events array, the batch is owned by the epoll instance and
+// is only valid until the next Wait or Kick; callers that retain events
+// across waits must copy them.
 func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 	if ep.waiter != nil {
 		panic(fmt.Sprintf("kernel: epoll %d has a Wait outstanding", ep.ID))

@@ -190,22 +190,27 @@ func TestEpollMaxEventsBatching(t *testing.T) {
 		ep.Add(ls)
 		ns.DeliverSYN(tupleFor(uint32(p), p), nil)
 	}
-	var first, second []Event
-	drain := func(evs []Event) {
+	// The batch slice is only valid until the next Wait on the instance
+	// (the kernel reuses the events buffer), so snapshot the sockets.
+	var first, second []*Socket
+	drain := func(evs []Event) []*Socket {
+		socks := make([]*Socket, 0, len(evs))
 		for _, e := range evs {
 			e.Sock.Accept()
+			socks = append(socks, e.Sock)
 		}
+		return socks
 	}
-	ep.Wait(2, time.Millisecond, func(evs []Event) { first = evs; drain(evs) })
+	ep.Wait(2, time.Millisecond, func(evs []Event) { first = drain(evs) })
 	eng.Run()
-	ep.Wait(2, time.Millisecond, func(evs []Event) { second = evs; drain(evs) })
+	ep.Wait(2, time.Millisecond, func(evs []Event) { second = drain(evs) })
 	eng.Run()
 	if len(first) != 2 || len(second) != 1 {
 		t.Fatalf("batches = %d,%d, want 2,1", len(first), len(second))
 	}
 	// The socket left unserviced in batch 1 must appear in batch 2
 	// (ready-list rotation prevents starvation).
-	if second[0].Sock == first[0].Sock || second[0].Sock == first[1].Sock {
+	if second[0] == first[0] || second[0] == first[1] {
 		t.Fatal("unserviced socket starved by ready-list ordering")
 	}
 }

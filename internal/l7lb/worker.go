@@ -64,12 +64,19 @@ type execJob struct {
 }
 
 func newWorker(lb *LB, id int, hook Hook) *Worker {
+	// Pre-size the connection table so the steady-state accept path does
+	// not rehash/regrow: bounded by the pool cap when one is configured.
+	hint := 256
+	if max := lb.Cfg.MaxConnsPerWorker; max > 0 && max < hint {
+		hint = max
+	}
 	w := &Worker{
 		ID:      id,
 		lb:      lb,
 		ep:      lb.NS.NewEpoll(),
 		hook:    hook,
-		connIdx: make(map[*kernel.Socket]int),
+		conns:   make([]*kernel.Socket, 0, hint),
+		connIdx: make(map[*kernel.Socket]int, hint),
 	}
 	if lb.Cfg.DetailedStats {
 		w.EventsPerWait = &stats.Sample{}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -161,11 +162,164 @@ func TestPendingCount(t *testing.T) {
 	}
 }
 
+// TestCancelRemovesEagerly verifies the heap-leak fix: a cancelled timer
+// leaves the event queue immediately instead of lingering until popped.
+func TestCancelRemovesEagerly(t *testing.T) {
+	e := NewEngine(1)
+	tms := make([]Timer, 100)
+	for i := range tms {
+		tms[i] = e.At(int64(i+1), func() {})
+	}
+	for i, tm := range tms {
+		if i%2 == 0 {
+			tm.Cancel()
+		}
+	}
+	if e.Pending() != 50 {
+		t.Fatalf("Pending = %d after cancelling half, want 50 (eager removal)", e.Pending())
+	}
+	e.Run()
+	if e.Executed != 50 {
+		t.Fatalf("Executed = %d, want 50", e.Executed)
+	}
+}
+
+// TestStaleHandleCannotCancelRecycledEvent guards the free list: a handle to
+// a fired timer must not affect a new event that reuses its pooled storage.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.At(1, func() {})
+	e.Step() // fires; event returns to the free list
+	fired := false
+	fresh := e.At(2, func() { fired = true }) // reuses the pooled event
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if stale.Pending() || stale.When() != 0 {
+		t.Fatal("stale handle reports the recycled event as its own")
+	}
+	if !fresh.Pending() || fresh.When() != 2 {
+		t.Fatal("fresh handle invalidated by stale one")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() || tm.Pending() || tm.When() != 0 {
+		t.Fatal("zero Timer should be a no-op handle")
+	}
+}
+
+// TestGoldenSequence locks the engine's observable semantics in one script:
+// ordering across times, FIFO tie-break at one instant, cancellation (before
+// and mid-run), nested scheduling, and clock reads inside callbacks.
+func TestGoldenSequence(t *testing.T) {
+	e := NewEngine(42)
+	var trace []string
+	hit := func(tag string) func() {
+		return func() { trace = append(trace, fmt.Sprintf("%s@%d", tag, e.Now())) }
+	}
+	e.At(30, hit("c"))
+	e.At(10, hit("a1"))
+	e.At(10, hit("a2")) // same instant: FIFO after a1
+	doomed := e.At(20, hit("never"))
+	e.At(10, func() {
+		trace = append(trace, fmt.Sprintf("a3@%d", e.Now()))
+		doomed.Cancel() // cancel a pending event from inside a callback
+		e.After(15, hit("nested"))
+	})
+	e.At(40, hit("d"))
+	victim := e.At(35, hit("gone"))
+	victim.Cancel() // cancel before the run starts
+	e.Run()
+
+	want := []string{"a1@10", "a2@10", "a3@10", "nested@25", "c@30", "d@40"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q (full: %v)", i, trace[i], want[i], trace)
+		}
+	}
+	if e.Executed != 6 {
+		t.Fatalf("Executed = %d, want 6", e.Executed)
+	}
+}
+
+// TestHeapStressOrdering pushes a large shuffled schedule with interleaved
+// cancellations through the 4-ary heap and checks global firing order.
+func TestHeapStressOrdering(t *testing.T) {
+	e := NewEngine(7)
+	const n = 5000
+	perm := e.Rand().Perm(n)
+	tms := make([]Timer, n)
+	for _, p := range perm {
+		p := p
+		tms[p] = e.At(int64(p)*3+1, func() {
+			// no-op; order is checked via the engine clock below
+		})
+	}
+	cancelled := 0
+	for i := 0; i < n; i += 7 {
+		if tms[i].Cancel() {
+			cancelled++
+		}
+	}
+	last := int64(-1)
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+	}
+	if int(e.Executed) != n-cancelled {
+		t.Fatalf("Executed = %d, want %d", e.Executed, n-cancelled)
+	}
+}
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	e := NewEngine(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.After(time.Microsecond, func() {})
 		e.Step()
+	}
+}
+
+// BenchmarkEngineSchedule measures steady-state schedule+fire with a
+// realistically deep heap (one pending timeout per simulated worker), the
+// pattern the LB worker loops generate.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // standing timers keep the heap non-trivial
+		e.After(time.Second, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures the epoll-timeout pattern: schedule a
+// timeout, race it, cancel it (eager heap removal + event reuse).
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(time.Second, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(time.Millisecond, fn)
+		tm.Cancel()
 	}
 }
