@@ -1,0 +1,57 @@
+// Checkmetrics validates a hermes-bench -metrics dump: the file must parse
+// as JSON shaped experiment → cell → metric snapshots, and every cell must
+// carry at least one named metric. CI runs it as the telemetry smoke test.
+//
+//	go run ./cmd/checkmetrics dump.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hermes/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkmetrics <dump.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err.Error())
+	}
+	var dump map[string]map[string][]telemetry.MetricSnapshot
+	if err := json.Unmarshal(data, &dump); err != nil {
+		fatal("not a metrics dump: " + err.Error())
+	}
+	if len(dump) == 0 {
+		fatal("dump has no experiments")
+	}
+	exps, cells, metrics := 0, 0, 0
+	for exp, byCell := range dump {
+		exps++
+		for cell, snaps := range byCell {
+			cells++
+			if len(snaps) == 0 {
+				fatal(fmt.Sprintf("%s/%s: cell has no metrics", exp, cell))
+			}
+			for _, ms := range snaps {
+				if ms.Name == "" {
+					fatal(fmt.Sprintf("%s/%s: metric with empty name", exp, cell))
+				}
+				metrics++
+			}
+		}
+	}
+	if cells == 0 {
+		fatal("dump has no cells")
+	}
+	fmt.Printf("ok: %d experiments, %d cells, %d metric snapshots\n", exps, cells, metrics)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "checkmetrics: "+msg)
+	os.Exit(1)
+}

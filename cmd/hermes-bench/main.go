@@ -3,15 +3,21 @@
 //
 //	hermes-bench -exp table3
 //	hermes-bench -exp all -seed 7
-//	hermes-bench -exp table3 -parallel 8
+//	hermes-bench -exp table3 -parallel 8 -metrics table3.json
 //
 // Output is plain text, one paper-style table or series per experiment.
 // Independent experiment cells (each owns its own engine and seed) fan out
 // over -parallel worker goroutines; results are assembled in cell order, so
 // the output is byte-identical at every -parallel setting.
+//
+// -metrics additionally dumps the cross-layer telemetry catalog
+// (docs/TELEMETRY.md) as JSON keyed by experiment and cell. Recording
+// never perturbs the simulation: rendered output is byte-identical with
+// and without it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +38,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.5, "workload rate scale")
 		tenants  = flag.Int("tenants", 8, "tenant ports per LB")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "cell-level fan-out (independent sims per experiment); 1 = sequential")
+		metrics  = flag.String("metrics", "", "write per-cell telemetry dumps (JSON) to this path")
 	)
 	flag.Parse()
 
@@ -51,23 +58,29 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			if c := experiments[n].Cells; c != nil {
-				fmt.Printf("%s\t(%d parallel cells)\n", n, c(opts))
+			if cells := experiments[n].Cells(opts); len(cells) > 1 {
+				fmt.Printf("%s\t(%d parallel cells)\n", n, len(cells))
 			} else {
 				fmt.Printf("%s\t(sequential)\n", n)
 			}
 		}
 		return
 	}
+
+	dumps := make(map[string]*bench.MetricsCollector)
 	run := func(name string) {
 		e, ok := experiments[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", name)
 			os.Exit(2)
 		}
+		if *metrics != "" {
+			opts.Metrics = bench.NewMetricsCollector()
+			dumps[name] = opts.Metrics
+		}
 		start := time.Now()
-		out := e.Run(opts)
-		fmt.Printf("### %s — %s (wall %.1fs)\n%s\n", name, e.Desc, time.Since(start).Seconds(), out)
+		out := bench.RunExperiment(e, opts)
+		fmt.Printf("### %s — %s (wall %.1fs)\n%s\n", name, e.Desc(), time.Since(start).Seconds(), out)
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(experiments))
@@ -78,9 +91,22 @@ func main() {
 		for _, n := range names {
 			run(n)
 		}
-		return
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(name))
+		}
 	}
-	for _, name := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(name))
+
+	if *metrics != "" {
+		buf, err := json.MarshalIndent(dumps, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal metrics: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*metrics, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -23,21 +23,23 @@ import (
 
 	"hermes/internal/core"
 	"hermes/internal/httpx"
+	"hermes/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:8080", "address to listen on")
-		backends = flag.String("backends", "", "comma-separated backend addresses")
-		workers  = flag.Int("workers", 4, "worker goroutines (1-64)")
-		admin    = flag.String("admin", "", "admin address serving the policy control API (GET/PUT /policy, GET /status)")
-		demo     = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
-		demoReqs = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
+		listen     = flag.String("listen", "127.0.0.1:8080", "address to listen on")
+		backends   = flag.String("backends", "", "comma-separated backend addresses")
+		workers    = flag.Int("workers", 4, "worker goroutines (1-64)")
+		admin      = flag.String("admin", "", "admin address serving the policy control API (GET/PUT /policy, GET /status)")
+		statsEvery = flag.Duration("stats-every", 0, "periodically print the telemetry catalog (0 = off)")
+		demo       = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
+		demoReqs   = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
 	)
 	flag.Parse()
 
 	if *demo {
-		runDemo(*workers, *demoReqs)
+		runDemo(*workers, *demoReqs, *statsEvery)
 		return
 	}
 	if *backends == "" {
@@ -57,6 +59,9 @@ func main() {
 			}
 		}()
 	}
+	if *statsEvery > 0 {
+		go lb.reportStats(*statsEvery)
+	}
 	fmt.Printf("hermes-lb: %d workers proxying %s -> %s\n", *workers, lb.addr(), *backends)
 	lb.serveForever()
 }
@@ -70,17 +75,24 @@ type proxy struct {
 	rrSeq    atomic.Uint32
 	hashSeq  atomic.Uint32
 
+	// reg collects the proxy's live telemetry (-stats-every reporter).
+	reg       *telemetry.Registry
+	handled   *telemetry.CounterVec
+	latencyNS *telemetry.Histogram
+	upErrors  *telemetry.Counter
+
 	// Served counts proxied requests; Errors upstream failures.
 	Served atomic.Uint64
 	Errors atomic.Uint64
 }
 
 type pworker struct {
-	id    int
-	p     *proxy
-	hook  *core.WorkerHook
-	queue chan net.Conn
-	prevQ int // last queue depth folded into the busy metric
+	id      int
+	p       *proxy
+	hook    *core.WorkerHook
+	queue   chan net.Conn
+	prevQ   int // last queue depth folded into the busy metric
+	handled *telemetry.Counter
 	// Handled counts requests this worker proxied.
 	Handled atomic.Uint64
 	// Delay injects extra latency per request (demo poisoning).
@@ -88,17 +100,32 @@ type pworker struct {
 }
 
 func newProxy(listen string, backends []string, workers int) (*proxy, error) {
-	ctl, err := core.NewController(workers, core.DefaultConfig())
+	reg := telemetry.NewRegistry()
+	inst, err := core.New(workers, core.DefaultConfig(), core.WithInstruments(core.Instruments{
+		Recomputes: reg.Counter(telemetry.Metric{Name: "core.schedule.recomputes", Layer: "core", Unit: "passes"}),
+		Syncs:      reg.Counter(telemetry.Metric{Name: "core.schedule.syncs", Layer: "core", Unit: "syscalls"}),
+		WSTReads:   reg.Counter(telemetry.Metric{Name: "core.schedule.wst_reads", Layer: "core", Unit: "rows"}),
+		EmptySets:  reg.Counter(telemetry.Metric{Name: "core.schedule.empty_sets", Layer: "core", Unit: "passes"}),
+		Passed:     reg.Histogram(telemetry.Metric{Name: "core.schedule.passed", Layer: "core", Unit: "workers"}, telemetry.CountBuckets(64)),
+	}))
 	if err != nil {
 		return nil, err
+	}
+	ctl, ok := inst.(*core.Controller)
+	if !ok {
+		return nil, fmt.Errorf("hermes-lb: worker count %d needs the grouped deployment; cap at 64", workers)
 	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
 	}
-	p := &proxy{ln: ln, backends: backends, ctl: ctl}
+	p := &proxy{ln: ln, backends: backends, ctl: ctl, reg: reg}
+	p.handled = reg.CounterVec(telemetry.Metric{Name: "l7lb.worker.requests_served", Layer: "l7lb", Unit: "reqs"}, workers)
+	p.latencyNS = reg.Histogram(telemetry.Metric{Name: "l7lb.request_latency_ns", Layer: "l7lb", Unit: "ns"}, telemetry.DurationBuckets())
+	p.upErrors = reg.Counter(telemetry.Metric{Name: "l7lb.upstream_errors", Layer: "l7lb", Unit: "errors"})
 	for i := 0; i < workers; i++ {
-		w := &pworker{id: i, p: p, hook: ctl.NewWorkerHook(i), queue: make(chan net.Conn, 512)}
+		w := &pworker{id: i, p: p, hook: ctl.NewWorkerHook(i), queue: make(chan net.Conn, 512),
+			handled: p.handled.At(i)}
 		w.hook.LoopEnter(time.Now().UnixNano())
 		p.workers = append(p.workers, w)
 		go w.run()
@@ -106,6 +133,15 @@ func newProxy(listen string, backends []string, workers int) (*proxy, error) {
 	p.workers[0].hook.ScheduleAndSync(time.Now().UnixNano())
 	go p.acceptLoop()
 	return p, nil
+}
+
+// reportStats periodically prints the telemetry catalog (the real-socket
+// twin of hermes-bench -metrics).
+func (p *proxy) reportStats(every time.Duration) {
+	for range time.Tick(every) {
+		snap := p.reg.Snapshot()
+		fmt.Printf("--- telemetry %s ---\n%s", time.Now().Format(time.RFC3339), snap.Text())
+	}
 }
 
 func (p *proxy) addr() string { return p.ln.Addr().String() }
@@ -182,9 +218,12 @@ func (w *pworker) serve(conn net.Conn, buf []byte) {
 			if d := w.Delay.Load(); d > 0 {
 				time.Sleep(time.Duration(d))
 			}
+			start := time.Now()
 			resp := w.forward(req)
 			w.hook.EventHandled()
 			w.Handled.Add(1)
+			w.handled.Inc()
+			w.p.latencyNS.Observe(time.Since(start).Nanoseconds())
 			if _, err := conn.Write(resp.Append(nil)); err != nil {
 				return
 			}
@@ -203,6 +242,7 @@ func (w *pworker) forward(req *httpx.Request) *httpx.Response {
 	up, err := net.DialTimeout("tcp", backend, 2*time.Second)
 	if err != nil {
 		w.p.Errors.Add(1)
+		w.p.upErrors.Inc()
 		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
 	}
 	defer up.Close()
@@ -214,17 +254,20 @@ func (w *pworker) forward(req *httpx.Request) *httpx.Response {
 	)
 	if _, err := up.Write(fwd.Append(nil)); err != nil {
 		w.p.Errors.Add(1)
+		w.p.upErrors.Inc()
 		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
 	}
 	_ = up.SetReadDeadline(time.Now().Add(5 * time.Second))
 	data, err := io.ReadAll(up)
 	if err != nil && len(data) == 0 {
 		w.p.Errors.Add(1)
+		w.p.upErrors.Inc()
 		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
 	}
 	resp, _, perr := httpx.ParseResponse(data)
 	if perr != nil {
 		w.p.Errors.Add(1)
+		w.p.upErrors.Inc()
 		return &httpx.Response{Status: 502, Body: []byte(perr.Error())}
 	}
 	w.p.Served.Add(1)
@@ -237,7 +280,7 @@ func (w *pworker) reply(conn net.Conn, resp *httpx.Response) {
 
 // runDemo spins up two trivial backends, the proxy, and a client fleet, with
 // one worker poisoned halfway through to show the bitmap steering around it.
-func runDemo(workers, requests int) {
+func runDemo(workers, requests int, statsEvery time.Duration) {
 	backendAddrs := make([]string, 2)
 	for i := range backendAddrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -272,6 +315,9 @@ func runDemo(workers, requests int) {
 	}
 	defer p.close()
 	fmt.Printf("demo: %d workers, proxy %s, backends %v\n", workers, p.addr(), backendAddrs)
+	if statsEvery > 0 {
+		go p.reportStats(statsEvery)
+	}
 
 	// Steady closed-loop load: a fixed client pool keeps the proxy busy so
 	// the poisoned worker's backlog and stale loop timestamp are visible to

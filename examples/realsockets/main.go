@@ -99,10 +99,11 @@ func (w *worker) serveConn(conn net.Conn, buf []byte) {
 }
 
 func main() {
-	ctl, err := core.NewController(workers, core.DefaultConfig())
+	inst, err := core.New(workers, core.DefaultConfig())
 	if err != nil {
 		panic(err)
 	}
+	ctl := inst.(*core.Controller) // ≤64 workers → single-level deployment
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

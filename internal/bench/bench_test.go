@@ -216,8 +216,11 @@ func TestExperimentRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %q missing", name)
 			continue
 		}
-		if e.Desc == "" || e.Run == nil {
-			t.Errorf("experiment %q incomplete", name)
+		if e.Name() != name {
+			t.Errorf("experiment %q registered under Name() %q", name, e.Name())
+		}
+		if e.Desc() == "" {
+			t.Errorf("experiment %q has no description", name)
 		}
 	}
 	if len(exps) != len(want) {
@@ -229,7 +232,7 @@ func TestCheapExperimentsProduceOutput(t *testing.T) {
 	o := fastOptions()
 	exps := Experiments()
 	for _, name := range []string{"table4", "fig12", "figA5", "walkthrough", "fig2"} {
-		out := exps[name].Run(o)
+		out := RunExperiment(exps[name], o)
 		if len(out) < 50 {
 			t.Errorf("%s output suspiciously short: %q", name, out)
 		}
@@ -282,8 +285,8 @@ func TestParallelByteIdenticalOutput(t *testing.T) {
 	}
 	exps := Experiments()
 	for _, name := range []string{"table3", "table2", "baselines", "fig15"} {
-		seq := exps[name].Run(parallelTestOptions(1))
-		par := exps[name].Run(parallelTestOptions(8))
+		seq := RunExperiment(exps[name], parallelTestOptions(1))
+		par := RunExperiment(exps[name], parallelTestOptions(8))
 		if seq != par {
 			t.Errorf("%s: output differs between -parallel 1 and -parallel 8\n--- seq ---\n%s\n--- par ---\n%s",
 				name, seq, par)
@@ -291,21 +294,41 @@ func TestParallelByteIdenticalOutput(t *testing.T) {
 	}
 }
 
-// Every registry entry that declares cells must declare more than one —
-// that's the whole point of the fan-out — and the declared table3 count
-// must match its grid.
+// Every experiment must enumerate well-formed cells: the parallel sweeps
+// their full grids, the sequential ones exactly one cell, and every cell a
+// unique non-empty name (metric dumps key on it).
 func TestRegistryCellCounts(t *testing.T) {
 	o := fastOptions()
-	for name, e := range Experiments() {
-		if e.Cells == nil {
-			continue
-		}
-		if n := e.Cells(o); n < 2 {
-			t.Errorf("%s declares %d cells; parallel experiments need ≥2", name, n)
-		}
+	wantParallel := map[string]int{
+		"table2":    24,
+		"table3":    4 * len(LevelScales) * len(Table3Modes),
+		"fig2":      5,
+		"fig11":     2,
+		"fig13":     len(Table3Modes),
+		"fig14":     6,
+		"fig15":     8,
+		"baselines": len(AllModes),
+		"ablations": 8,
 	}
-	if n := Experiments()["table3"].Cells(o); n != 4*len(LevelScales)*len(Table3Modes) {
-		t.Errorf("table3 cells = %d", n)
+	for name, e := range Experiments() {
+		cells := e.Cells(o)
+		if want, ok := wantParallel[name]; ok {
+			if len(cells) != want {
+				t.Errorf("%s: %d cells, want %d", name, len(cells), want)
+			}
+		} else if len(cells) != 1 {
+			t.Errorf("%s: sequential experiments enumerate 1 cell, got %d", name, len(cells))
+		}
+		seen := make(map[string]bool, len(cells))
+		for i, c := range cells {
+			if c.Name == "" || c.Run == nil {
+				t.Errorf("%s cell %d incomplete", name, i)
+			}
+			if seen[c.Name] {
+				t.Errorf("%s: duplicate cell name %q", name, c.Name)
+			}
+			seen[c.Name] = true
+		}
 	}
 }
 

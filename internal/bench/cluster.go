@@ -9,6 +9,12 @@ import (
 	"hermes/internal/stats"
 )
 
+func init() {
+	Register(Seq("cluster",
+		"§6.1 methodology: mixed-mode devices behind the Fig. 1 VXLAN/L4 pipeline",
+		ClusterMethodology))
+}
+
 // ClusterMethodology reproduces §6.1's evaluation setup end to end through
 // the Fig. 1 pipeline: one epoll-exclusive device and one reuseport device
 // redeployed alongside Hermes devices in a single cluster, all fed the same

@@ -12,44 +12,76 @@ import (
 	"hermes/internal/workload"
 )
 
-// Fig2 reproduces Fig. 2's behaviour: the distribution of long-lived
-// connections across workers under exclusive wakeup vs reuseport vs Hermes.
-func Fig2(opts Options) string {
-	tb := stats.NewTable("Fig 2 — connection distribution across workers (long-lived conns)",
-		"mode", "per-worker conns", "stddev")
+func init() {
+	Register(fig2Experiment{})
+	Register(Seq("fig3",
+		"lag effect: long-lived connections then synchronized surge", Fig3))
+	Register(Seq("fig45",
+		"per-worker epoll_wait event/processing/blocking distributions", Fig4and5))
+	Register(Seq("fig7",
+		"NIC queues balanced by RSS while CPU cores stay uneven", Fig7))
+	Register(Seq("figA5",
+		"CDF of forwarding rules per port", FigA5))
+}
+
+// fig2Experiment reproduces Fig. 2's behaviour: the distribution of
+// long-lived connections across workers under exclusive wakeup vs
+// reuseport vs Hermes — one cell per mode.
+type fig2Experiment struct{}
+
+func (fig2Experiment) Name() string { return "fig2" }
+func (fig2Experiment) Desc() string {
+	return "connection concentration: exclusive vs rr vs reuseport vs hermes"
+}
+
+var fig2Modes = []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeExclusiveRR, l7lb.ModeIOUring, l7lb.ModeReuseport, l7lb.ModeHermes}
+
+func (fig2Experiment) Cells(opts Options) []Cell {
 	spec := workload.Case3(tenantPorts(1))
 	spec.ConnRate *= opts.RateScale
 	spec.ReqPerConn = workload.Const(1)
 	spec.InterReqNS = workload.Const(0)
 	spec.FirstReqDelayNS = workload.Const(float64(10 * time.Second)) // stay open
-	modes := []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeExclusiveRR, l7lb.ModeIOUring, l7lb.ModeReuseport, l7lb.ModeHermes}
-	rows := make([][]string, len(modes))
-	forEachCell(opts.Parallel, len(modes), func(i int) {
-		mode := modes[i]
-		run, err := Run(RunConfig{
-			Mode:    mode,
-			Workers: 8,
-			Seed:    opts.Seed,
-			Window:  500 * time.Millisecond,
-			Drain:   100 * time.Millisecond,
-			Specs:   []workload.Spec{spec},
-		})
-		if err != nil {
-			panic(err)
-		}
-		counts := run.LB.WorkerConnCounts()
-		f := make([]float64, len(counts))
-		for j, c := range counts {
-			f[j] = float64(c)
-		}
-		_, sd := stats.MeanStddev(f)
-		rows[i] = []string{mode.String(), fmt.Sprintf("%v", counts), fmt.Sprintf("%.1f", sd)}
-	})
-	for _, r := range rows {
-		tb.AddRow(r[0], r[1], r[2])
+	cells := make([]Cell, len(fig2Modes))
+	for i, mode := range fig2Modes {
+		mode := mode
+		cells[i] = Cell{Name: mode.String(), Run: func() any {
+			run, err := Run(RunConfig{
+				Mode:      mode,
+				Workers:   8,
+				Seed:      opts.Seed,
+				Window:    500 * time.Millisecond,
+				Drain:     100 * time.Millisecond,
+				Specs:     []workload.Spec{spec},
+				Telemetry: opts.Metrics.Sink(mode.String()),
+			})
+			if err != nil {
+				panic(err)
+			}
+			counts := run.LB.WorkerConnCounts()
+			f := make([]float64, len(counts))
+			for j, c := range counts {
+				f[j] = float64(c)
+			}
+			_, sd := stats.MeanStddev(f)
+			return []string{mode.String(), fmt.Sprintf("%v", counts), fmt.Sprintf("%.1f", sd)}
+		}}
+	}
+	return cells
+}
+
+func (fig2Experiment) Render(opts Options, results []any) string {
+	tb := stats.NewTable("Fig 2 — connection distribution across workers (long-lived conns)",
+		"mode", "per-worker conns", "stddev")
+	for _, r := range results {
+		row := r.([]string)
+		tb.AddRow(row[0], row[1], row[2])
 	}
 	return tb.Render()
 }
+
+// Fig2 runs the fig2 experiment sequentially (library/benchmark entry point).
+func Fig2(opts Options) string { return RunExperiment(fig2Experiment{}, opts) }
 
 // Fig3 reproduces the lag effect: traffic rate and live connections through
 // a port over time, with per-worker CPU stddev spiking at the burst.

@@ -11,6 +11,15 @@ import (
 	"hermes/internal/workload"
 )
 
+func init() {
+	Register(fig11Experiment{})
+	Register(Seq("fig12",
+		"normalized unit infra cost before/after Hermes", Fig12))
+	Register(fig13Experiment{})
+	Register(fig14Experiment{})
+	Register(fig15Experiment{})
+}
+
 // measureDelayedRate runs the lag-effect scenario (long-lived connections,
 // then a synchronized burst) with a prober and returns the fraction of
 // probes delayed beyond 200 ms. Under exclusive wakeup the established
@@ -23,6 +32,7 @@ func measureDelayedRate(opts Options, mode l7lb.Mode) float64 {
 	cfg.Workers = opts.Workers
 	cfg.Ports = tenantPorts(1)
 	cfg.RegisteredPorts = opts.RegisteredPorts
+	cfg.Telemetry = opts.Metrics.Sink(mode.String())
 	lb, err := l7lb.New(eng, cfg)
 	if err != nil {
 		panic(err)
@@ -48,17 +58,32 @@ func measureDelayedRate(opts Options, mode l7lb.Mode) float64 {
 	return p.DelayedRate()
 }
 
-// Fig11 reproduces Fig. 11: daily delayed probes before/after the Hermes
-// rollout in two regions with different connection drain speeds. The
-// per-mode delay rates are measured in simulation; the canary timeline
-// converts them into the daily series.
-func Fig11(opts Options) string {
-	var rates [2]float64
+// fig11Experiment reproduces Fig. 11: daily delayed probes before/after
+// the Hermes rollout in two regions with different connection drain
+// speeds. The per-mode delay rates are measured in simulation (one cell
+// per rollout stage); the canary timeline converts them into the daily
+// series.
+type fig11Experiment struct{}
+
+func (fig11Experiment) Name() string { return "fig11" }
+func (fig11Experiment) Desc() string {
+	return "delayed probes per day before/after Hermes rollout"
+}
+
+func (fig11Experiment) Cells(opts Options) []Cell {
 	rollout := []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeHermes}
-	forEachCell(opts.Parallel, len(rollout), func(i int) {
-		rates[i] = measureDelayedRate(opts, rollout[i])
-	})
-	oldRate, newRate := rates[0], rates[1]
+	cells := make([]Cell, len(rollout))
+	for i, mode := range rollout {
+		mode := mode
+		cells[i] = Cell{Name: mode.String(), Run: func() any {
+			return measureDelayedRate(opts, mode)
+		}}
+	}
+	return cells
+}
+
+func (fig11Experiment) Render(opts Options, results []any) string {
+	oldRate, newRate := results[0].(float64), results[1].(float64)
 	if newRate >= oldRate {
 		// Guard for pathological seeds; the shape requires old > new.
 		newRate = oldRate / 500
@@ -94,6 +119,9 @@ func Fig11(opts Options) string {
 	}
 	return out
 }
+
+// Fig11 runs the fig11 experiment sequentially (library/benchmark entry point).
+func Fig11(opts Options) string { return RunExperiment(fig11Experiment{}, opts) }
 
 // Fig12 reproduces Fig. 12: normalized unit infrastructure cost per month
 // before/after the rollout. Worker hangs forced a 30% CPU safety threshold;
@@ -139,12 +167,20 @@ func Fig12(opts Options) string {
 	return tb.Render() + fmt.Sprintf("peak unit-cost reduction: %.1f%% (paper: 18.9%%)\n", 100*(1-minUnit))
 }
 
-// Fig13 reproduces Fig. 13: the standard deviation of per-worker CPU
-// utilization and connection counts across two (compressed) days of
-// diurnally modulated production-like traffic, for the three modes.
-func Fig13(opts Options) string {
-	tb := stats.NewTable("Fig 13 — balance over 2 compressed days",
-		"mode", "CPU util stddev", "#conns stddev")
+// fig13Experiment reproduces Fig. 13: the standard deviation of
+// per-worker CPU utilization and connection counts across two
+// (compressed) days of diurnally modulated production-like traffic, one
+// cell per mode.
+type fig13Experiment struct{}
+
+func (fig13Experiment) Name() string { return "fig13" }
+func (fig13Experiment) Desc() string {
+	return "stddev of CPU util and #conns across workers, 3 modes"
+}
+
+type fig13Row struct{ cpu, conn string }
+
+func (fig13Experiment) Cells(opts Options) []Cell {
 	ports := tenantPorts(opts.Tenants)
 	// Two "days", each compressed to 2× the window budget, with a sinusoidal
 	// diurnal rate profile sliced into phased generator windows.
@@ -152,94 +188,124 @@ func Fig13(opts Options) string {
 	total := 2 * day
 	const slices = 16
 	sliceDur := total / slices
-	type fig13Row struct{ cpu, conn string }
-	rows := make([]fig13Row, len(Table3Modes))
-	forEachCell(opts.Parallel, len(Table3Modes), func(mi int) {
-		mode := Table3Modes[mi]
-		eng := newSimEngine(opts.Seed)
-		cfg := l7lb.DefaultConfig(mode)
-		cfg.Workers = opts.Workers
-		cfg.Ports = ports
-		cfg.RegisteredPorts = opts.RegisteredPorts
-		lb, err := l7lb.New(eng, cfg)
-		if err != nil {
-			panic(err)
-		}
-		lb.Start()
-
-		region := workload.Regions()[0]
-		for s := 0; s < slices; s++ {
-			// Two full diurnal cycles across the run.
-			level := 0.55 + 0.45*math.Sin(4*math.Pi*float64(s)/slices)
-			if level < 0.1 {
-				level = 0.1
-			}
-			for _, sp := range region.Specs(ports, 60_000*opts.RateScale*level) {
-				g, err := workload.NewGenerator(lb, sp)
-				if err != nil {
-					panic(err)
-				}
-				g.RunWindow(time.Duration(s)*sliceDur, time.Duration(s+1)*sliceDur)
-			}
-		}
-
-		var cpuSD, connSD stats.Sample
-		prevBusy := make([]int64, len(lb.Workers))
-		utils := make([]float64, len(lb.Workers))
-		conns := make([]float64, len(lb.Workers))
-		tick := 50 * time.Millisecond
-		for t := tick; t <= total; t += tick {
-			eng.RunUntil(int64(t))
-			for i, w := range lb.Workers {
-				b := w.BusyNS(eng.Now())
-				utils[i] = float64(b-prevBusy[i]) / float64(tick)
-				prevBusy[i] = b
-				conns[i] = float64(w.OpenConns())
-			}
-			_, sd := stats.MeanStddev(utils)
-			cpuSD.Add(sd)
-			_, sd = stats.MeanStddev(conns)
-			connSD.Add(sd)
-		}
-		rows[mi] = fig13Row{
-			cpu:  fmt.Sprintf("%.1f%%", cpuSD.Mean()*100),
-			conn: fmt.Sprintf("%.1f", connSD.Mean()),
-		}
-	})
+	cells := make([]Cell, len(Table3Modes))
 	for mi, mode := range Table3Modes {
-		tb.AddRow(mode.String(), rows[mi].cpu, rows[mi].conn)
+		mode := mode
+		cells[mi] = Cell{Name: mode.String(), Run: func() any {
+			eng := newSimEngine(opts.Seed)
+			cfg := l7lb.DefaultConfig(mode)
+			cfg.Workers = opts.Workers
+			cfg.Ports = ports
+			cfg.RegisteredPorts = opts.RegisteredPorts
+			cfg.Telemetry = opts.Metrics.Sink(mode.String())
+			lb, err := l7lb.New(eng, cfg)
+			if err != nil {
+				panic(err)
+			}
+			lb.Start()
+
+			region := workload.Regions()[0]
+			for s := 0; s < slices; s++ {
+				// Two full diurnal cycles across the run.
+				level := 0.55 + 0.45*math.Sin(4*math.Pi*float64(s)/slices)
+				if level < 0.1 {
+					level = 0.1
+				}
+				for _, sp := range region.Specs(ports, 60_000*opts.RateScale*level) {
+					g, err := workload.NewGenerator(lb, sp)
+					if err != nil {
+						panic(err)
+					}
+					g.RunWindow(time.Duration(s)*sliceDur, time.Duration(s+1)*sliceDur)
+				}
+			}
+
+			var cpuSD, connSD stats.Sample
+			prevBusy := make([]int64, len(lb.Workers))
+			utils := make([]float64, len(lb.Workers))
+			conns := make([]float64, len(lb.Workers))
+			tick := 50 * time.Millisecond
+			for t := tick; t <= total; t += tick {
+				eng.RunUntil(int64(t))
+				for i, w := range lb.Workers {
+					b := w.BusyNS(eng.Now())
+					utils[i] = float64(b-prevBusy[i]) / float64(tick)
+					prevBusy[i] = b
+					conns[i] = float64(w.OpenConns())
+				}
+				_, sd := stats.MeanStddev(utils)
+				cpuSD.Add(sd)
+				_, sd = stats.MeanStddev(conns)
+				connSD.Add(sd)
+			}
+			return fig13Row{
+				cpu:  fmt.Sprintf("%.1f%%", cpuSD.Mean()*100),
+				conn: fmt.Sprintf("%.1f", connSD.Mean()),
+			}
+		}}
+	}
+	return cells
+}
+
+func (fig13Experiment) Render(opts Options, results []any) string {
+	tb := stats.NewTable("Fig 13 — balance over 2 compressed days",
+		"mode", "CPU util stddev", "#conns stddev")
+	for mi, mode := range Table3Modes {
+		row := results[mi].(fig13Row)
+		tb.AddRow(mode.String(), row.cpu, row.conn)
 	}
 	return tb.Render() + "paper: CPU SD 26% / 2.7% / 2.7%; conn SD 3200 / 50 / 20 (exclusive/reuseport/hermes)\n"
 }
 
-// Fig14 reproduces Fig. 14: the fraction of workers passing the coarse
-// filter and the scheduler call frequency as load rises.
-func Fig14(opts Options) string {
-	tb := stats.NewTable("Fig 14 — coarse filter pass ratio and scheduling frequency vs load",
-		"load", "pass ratio", "scheduler calls/s (k)", "kernel syncs/s (k)")
+// Fig13 runs the fig13 experiment sequentially (library/benchmark entry point).
+func Fig13(opts Options) string { return RunExperiment(fig13Experiment{}, opts) }
+
+// fig14Experiment reproduces Fig. 14: the fraction of workers passing the
+// coarse filter and the scheduler call frequency as load rises — one cell
+// per load level.
+type fig14Experiment struct{}
+
+func (fig14Experiment) Name() string { return "fig14" }
+func (fig14Experiment) Desc() string {
+	return "coarse-filter pass ratio and scheduler frequency vs load"
+}
+
+var fig14Levels = []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5}
+
+func (fig14Experiment) Cells(opts Options) []Cell {
 	ports := tenantPorts(opts.Tenants)
 	// Region2's case-4/case-2 heavy mix makes worker load genuinely
 	// uneven, so the coarse filter has something to filter.
-	levels := []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5}
-	runs := make([]*RunResult, len(levels))
-	forEachCell(opts.Parallel, len(levels), func(i int) {
-		specs := workload.Regions()[1].Specs(ports, 55_000*opts.RateScale*levels[i])
-		run, err := Run(RunConfig{
-			Mode:    l7lb.ModeHermes,
-			Workers: opts.Workers,
-			Ports:   ports,
-			Seed:    opts.Seed,
-			Window:  opts.Window,
-			Drain:   opts.Drain / 2,
-			Specs:   specs,
-		})
-		if err != nil {
-			panic(err)
-		}
-		runs[i] = run
-	})
-	for i, level := range levels {
-		st := runs[i].LB.Ctl.Stats()
+	cells := make([]Cell, len(fig14Levels))
+	for i, level := range fig14Levels {
+		level := level
+		name := fmt.Sprintf("load%.2fx", level)
+		cells[i] = Cell{Name: name, Run: func() any {
+			specs := workload.Regions()[1].Specs(ports, 55_000*opts.RateScale*level)
+			run, err := Run(RunConfig{
+				Mode:      l7lb.ModeHermes,
+				Workers:   opts.Workers,
+				Ports:     ports,
+				Seed:      opts.Seed,
+				Window:    opts.Window,
+				Drain:     opts.Drain / 2,
+				Specs:     specs,
+				Telemetry: opts.Metrics.Sink(name),
+			})
+			if err != nil {
+				panic(err)
+			}
+			return run
+		}}
+	}
+	return cells
+}
+
+func (fig14Experiment) Render(opts Options, results []any) string {
+	tb := stats.NewTable("Fig 14 — coarse filter pass ratio and scheduling frequency vs load",
+		"load", "pass ratio", "scheduler calls/s (k)", "kernel syncs/s (k)")
+	for i, level := range fig14Levels {
+		st := results[i].(*RunResult).LB.Ctl.Stats()
 		elapsed := (opts.Window + opts.Drain/2).Seconds()
 		tb.AddRow(fmt.Sprintf("%.2fx", level),
 			fmt.Sprintf("%.2f", st.AvgPassed/float64(opts.Workers)),
@@ -249,41 +315,64 @@ func Fig14(opts Options) string {
 	return tb.Render()
 }
 
-// Fig15 reproduces Fig. 15: sweeping the filter offset θ/Avg and reporting
-// average P99 latency and throughput; the paper finds 0.5 optimal.
-func Fig15(opts Options) string {
-	tb := stats.NewTable("Fig 15 — effect of offset θ/Avg",
-		"θ/Avg", "avg (ms)", "P99 (ms)", "throughput (kRPS)")
+// Fig14 runs the fig14 experiment sequentially (library/benchmark entry point).
+func Fig14(opts Options) string { return RunExperiment(fig14Experiment{}, opts) }
+
+// fig15Experiment reproduces Fig. 15: sweeping the filter offset θ/Avg
+// and reporting average P99 latency and throughput; the paper finds 0.5
+// optimal. One cell per sweep point.
+type fig15Experiment struct{}
+
+func (fig15Experiment) Name() string { return "fig15" }
+func (fig15Experiment) Desc() string {
+	return "offset θ/Avg sweep: P99 and throughput"
+}
+
+var fig15Thetas = []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5}
+
+func (fig15Experiment) Cells(opts Options) []Cell {
 	ports := tenantPorts(opts.Tenants)
 	// Hang-prone Region2 mix at ~70% utilization: small θ concentrates new
 	// connections on the few below-average workers; large θ admits loaded
 	// ones. Both ends hurt tail latency (Fig. 15's U-shape).
 	specs := workload.Regions()[1].Specs(ports, 60_000*opts.RateScale)
-	thetas := []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5}
-	runs := make([]*RunResult, len(thetas))
-	forEachCell(opts.Parallel, len(thetas), func(i int) {
-		theta := thetas[i]
-		run, err := Run(RunConfig{
-			Mode:    l7lb.ModeHermes,
-			Workers: opts.Workers,
-			Ports:   ports,
-			Seed:    opts.Seed,
-			Window:  opts.Window,
-			Drain:   opts.Drain / 2,
-			Specs:   specs,
-			Mutate: func(c *l7lb.Config) {
-				c.Hermes.ThetaFrac = theta
-			},
-		})
-		if err != nil {
-			panic(err)
-		}
-		runs[i] = run
-	})
-	for i, theta := range thetas {
-		run := runs[i]
+	cells := make([]Cell, len(fig15Thetas))
+	for i, theta := range fig15Thetas {
+		theta := theta
+		name := fmt.Sprintf("theta%.2f", theta)
+		cells[i] = Cell{Name: name, Run: func() any {
+			run, err := Run(RunConfig{
+				Mode:      l7lb.ModeHermes,
+				Workers:   opts.Workers,
+				Ports:     ports,
+				Seed:      opts.Seed,
+				Window:    opts.Window,
+				Drain:     opts.Drain / 2,
+				Specs:     specs,
+				Telemetry: opts.Metrics.Sink(name),
+				Mutate: func(c *l7lb.Config) {
+					c.Hermes.ThetaFrac = theta
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			return run
+		}}
+	}
+	return cells
+}
+
+func (fig15Experiment) Render(opts Options, results []any) string {
+	tb := stats.NewTable("Fig 15 — effect of offset θ/Avg",
+		"θ/Avg", "avg (ms)", "P99 (ms)", "throughput (kRPS)")
+	for i, theta := range fig15Thetas {
+		run := results[i].(*RunResult)
 		tb.AddRow(fmt.Sprintf("%.2f", theta), stats.FormatMS(run.AvgMS),
 			stats.FormatMS(run.P99MS), fmt.Sprintf("%.1f", run.ThroughputKRPS))
 	}
 	return tb.Render()
 }
+
+// Fig15 runs the fig15 experiment sequentially (library/benchmark entry point).
+func Fig15(opts Options) string { return RunExperiment(fig15Experiment{}, opts) }

@@ -31,6 +31,10 @@ type Options struct {
 	// simulations within one experiment). 0 means GOMAXPROCS; 1 forces
 	// sequential execution. Output is byte-identical at any setting.
 	Parallel int
+	// Metrics, when set, collects one telemetry registry per experiment
+	// cell (hermes-bench -metrics). Nil disables recording; rendered
+	// experiment output is byte-identical either way.
+	Metrics *MetricsCollector
 }
 
 // DefaultOptions returns the standard experiment shape.

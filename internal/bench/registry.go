@@ -1,106 +1,92 @@
 package bench
 
+// The harness models every reproduction the same way: an Experiment
+// enumerates independent simulation Cells, the runner fans the cells out
+// over the worker pool, and Render assembles the results — by cell index,
+// so output is byte-identical at any -parallel setting. Experiments
+// register themselves from their own file's init(); adding one touches no
+// central table.
+
+// Cell is one independent simulation: a private engine, a private seed,
+// nothing mutable shared with any other cell. Run returns the cell's raw
+// result for the experiment's Render to assemble.
+type Cell struct {
+	// Name identifies the cell within its experiment (metric dumps key on
+	// it).
+	Name string
+	// Run executes the cell and returns its result.
+	Run func() any
+}
+
 // Experiment is one runnable table/figure reproduction.
-type Experiment struct {
+type Experiment interface {
+	// Name is the registry key (the DESIGN.md experiment ID).
+	Name() string
 	// Desc is a one-line description shown in harness output.
-	Desc string
-	// Run executes the experiment and returns rendered text.
-	Run func(Options) string
-	// Cells reports how many independent simulation cells the experiment
-	// enumerates for Options.Parallel fan-out; 0 marks an inherently
-	// sequential experiment (single sim, shared RNG stream, or — like
-	// table5 — wall-clock microbenchmarks that concurrency would skew).
-	Cells func(Options) int
+	Desc() string
+	// Cells enumerates the independent simulation cells for the options.
+	// A single cell marks an inherently sequential experiment (single sim,
+	// shared RNG stream, or — like table5 — wall-clock microbenchmarks
+	// that concurrency would skew).
+	Cells(o Options) []Cell
+	// Render assembles the rendered text from the per-cell results,
+	// indexed exactly as Cells returned them.
+	Render(o Options, results []any) string
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment to the registry; experiment files call it
+// from init(). Duplicate names are a programming error.
+func Register(e Experiment) {
+	if _, dup := registry[e.Name()]; dup {
+		panic("bench: duplicate experiment " + e.Name())
+	}
+	registry[e.Name()] = e
 }
 
 // Experiments returns the registry of all reproducible artifacts, keyed by
 // the DESIGN.md experiment IDs.
 func Experiments() map[string]Experiment {
-	return map[string]Experiment{
-		"table1": {
-			Desc: "request size and processing-time distributions per region",
-			Run:  func(o Options) string { return RenderTable1(Table1(o)) },
-		},
-		"table2": {
-			Desc:  "CPU imbalance within/across devices under epoll-exclusive",
-			Run:   func(o Options) string { return RenderTable2(Table2(o)) },
-			Cells: func(Options) int { return 24 },
-		},
-		"table3": {
-			Desc:  "4 traffic cases x {exclusive,reuseport,hermes} x {light,medium,heavy}",
-			Run:   func(o Options) string { return Table3(o).Render() },
-			Cells: func(o Options) int { return 4 * len(LevelScales) * len(Table3Modes) },
-		},
-		"table4": {
-			Desc: "distribution of the 4 cases across regions",
-			Run:  Table4,
-		},
-		"table5": {
-			Desc: "CPU overhead of Hermes components (measured microbenchmarks)",
-			Run:  Table5,
-		},
-		"fig2": {
-			Desc:  "connection concentration: exclusive vs rr vs reuseport vs hermes",
-			Run:   Fig2,
-			Cells: func(Options) int { return 5 },
-		},
-		"fig3": {
-			Desc: "lag effect: long-lived connections then synchronized surge",
-			Run:  Fig3,
-		},
-		"fig45": {
-			Desc: "per-worker epoll_wait event/processing/blocking distributions",
-			Run:  Fig4and5,
-		},
-		"fig7": {
-			Desc: "NIC queues balanced by RSS while CPU cores stay uneven",
-			Run:  Fig7,
-		},
-		"fig11": {
-			Desc:  "delayed probes per day before/after Hermes rollout",
-			Run:   Fig11,
-			Cells: func(Options) int { return 2 },
-		},
-		"fig12": {
-			Desc: "normalized unit infra cost before/after Hermes",
-			Run:  Fig12,
-		},
-		"fig13": {
-			Desc:  "stddev of CPU util and #conns across workers, 3 modes",
-			Run:   Fig13,
-			Cells: func(Options) int { return len(Table3Modes) },
-		},
-		"fig14": {
-			Desc:  "coarse-filter pass ratio and scheduler frequency vs load",
-			Run:   Fig14,
-			Cells: func(Options) int { return 6 },
-		},
-		"fig15": {
-			Desc:  "offset θ/Avg sweep: P99 and throughput",
-			Run:   Fig15,
-			Cells: func(Options) int { return 8 },
-		},
-		"figA5": {
-			Desc: "CDF of forwarding rules per port",
-			Run:  FigA5,
-		},
-		"baselines": {
-			Desc:  "every dispatch mode (incl. herd, accept-mutex, dispatcher, io_uring) on one workload",
-			Run:   Baselines,
-			Cells: func(Options) int { return len(AllModes) },
-		},
-		"cluster": {
-			Desc: "§6.1 methodology: mixed-mode devices behind the Fig. 1 VXLAN/L4 pipeline",
-			Run:  ClusterMethodology,
-		},
-		"ablations": {
-			Desc:  "design-choice ablations: filter order, placement, single-winner, theta, fallback",
-			Run:   Ablations,
-			Cells: func(Options) int { return 8 },
-		},
-		"walkthrough": {
-			Desc: "appendix A3/A4 example: a,b1..b4 across 3 workers per mode",
-			Run:  Walkthrough,
-		},
+	out := make(map[string]Experiment, len(registry))
+	for name, e := range registry {
+		out[name] = e
 	}
+	return out
+}
+
+// RunExperiment executes an experiment end to end: enumerate cells, fan
+// them out over o.Parallel goroutines, assemble in cell order, render.
+func RunExperiment(e Experiment, o Options) string {
+	return e.Render(o, runCells(o, e.Cells(o)))
+}
+
+// runCells executes cells over the pool and returns results by cell index.
+func runCells(o Options, cells []Cell) []any {
+	results := make([]any, len(cells))
+	forEachCell(o.Parallel, len(cells), func(i int) {
+		results[i] = cells[i].Run()
+	})
+	return results
+}
+
+// seqExperiment adapts a monolithic run function as a one-cell Experiment.
+type seqExperiment struct {
+	name, desc string
+	run        func(Options) string
+}
+
+// Seq wraps an inherently sequential experiment — one that owns a single
+// sim or a shared RNG stream end to end — as a one-cell Experiment.
+func Seq(name, desc string, run func(Options) string) Experiment {
+	return seqExperiment{name: name, desc: desc, run: run}
+}
+
+func (s seqExperiment) Name() string { return s.name }
+func (s seqExperiment) Desc() string { return s.desc }
+func (s seqExperiment) Cells(o Options) []Cell {
+	return []Cell{{Name: s.name, Run: func() any { return s.run(o) }}}
+}
+func (s seqExperiment) Render(o Options, results []any) string {
+	return results[0].(string)
 }

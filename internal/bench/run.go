@@ -16,6 +16,7 @@ import (
 	"hermes/internal/l7lb"
 	"hermes/internal/sim"
 	"hermes/internal/stats"
+	"hermes/internal/telemetry"
 	"hermes/internal/workload"
 )
 
@@ -39,6 +40,10 @@ type RunConfig struct {
 	Detailed bool
 	// SampleEvery enables periodic balance sampling (0 = off).
 	SampleEvery time.Duration
+	// Telemetry, when set, is handed to the LB (l7lb.Config.Telemetry):
+	// the cross-layer metric catalog records into it. Nil disables
+	// recording.
+	Telemetry telemetry.Sink
 	// Mutate optionally adjusts the LB config before construction.
 	Mutate func(*l7lb.Config)
 	// PostBuild optionally adjusts the built LB before traffic starts
@@ -88,6 +93,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 	cfg.Workers = rc.Workers
 	cfg.Ports = ports
 	cfg.DetailedStats = rc.Detailed
+	cfg.Telemetry = rc.Telemetry
 	if rc.Mutate != nil {
 		rc.Mutate(&cfg)
 	}

@@ -113,6 +113,13 @@ type table5Level struct {
 	connsPS  float64 // new connections dispatched
 }
 
+func init() {
+	// Wall-clock microbenchmarks: concurrency would skew them, so table5
+	// stays a one-cell sequential experiment.
+	Register(Seq("table5",
+		"CPU overhead of Hermes components (measured microbenchmarks)", Table5))
+}
+
 // Table5 reproduces Table 5: CPU utilization of Hermes's components by load
 // level, computed as rate × ns-per-op over the device's total CPU capacity.
 func Table5(opts Options) string {

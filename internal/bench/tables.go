@@ -9,6 +9,15 @@ import (
 	"hermes/internal/workload"
 )
 
+func init() {
+	Register(Seq("table1",
+		"request size and processing-time distributions per region",
+		func(o Options) string { return RenderTable1(Table1(o)) }))
+	Register(table2Experiment{})
+	Register(Seq("table4",
+		"distribution of the 4 cases across regions", Table4))
+}
+
 // Table1Row is one region's request-size and processing-time percentiles.
 type Table1Row struct {
 	Region  string
@@ -72,51 +81,76 @@ type Table2Result struct {
 	Devices     int
 }
 
-// Table2 reproduces Table 2: CPU utilization imbalance within a device and
-// across devices of a region running epoll-exclusive. Each simulated device
-// carries a different tenant mix and load level (heterogeneous multi-tenancy
-// is what spreads the averages); the per-device max/min core spread comes
-// from exclusive's concentration.
-func Table2(opts Options) Table2Result {
-	devices := 24
+// table2Experiment reproduces Table 2: CPU utilization imbalance within a
+// device and across devices of a region running epoll-exclusive. Each
+// simulated device carries a different tenant mix and load level
+// (heterogeneous multi-tenancy is what spreads the averages); the
+// per-device max/min core spread comes from exclusive's concentration.
+type table2Experiment struct{}
+
+func (table2Experiment) Name() string { return "table2" }
+func (table2Experiment) Desc() string {
+	return "CPU imbalance within/across devices under epoll-exclusive"
+}
+
+// Cells enumerates one cell per simulated device: private engine, private
+// per-device RNG for the load level.
+func (table2Experiment) Cells(opts Options) []Cell {
+	const devices = 24
 	ports := tenantPorts(opts.Tenants)
-	// Each simulated device is an independent cell: private engine, private
-	// per-device RNG for the load level. Results land in the device's slot.
-	devs := make([]Table2Device, devices)
-	forEachCell(opts.Parallel, devices, func(d int) {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(d)*977))
-		region := workload.Regions()[d%4]
-		// Device load level varies widely across a region.
-		totalRPS := (4_000 + rng.Float64()*50_000) * opts.RateScale
-		specs := region.Specs(ports, totalRPS)
-		run, err := Run(RunConfig{
-			Mode:    l7lb.ModeExclusive,
-			Workers: opts.Workers,
-			Ports:   ports,
-			Seed:    opts.Seed + int64(d),
-			Window:  opts.Window,
-			Drain:   opts.Drain / 2,
-			Specs:   specs,
-			Mutate:  func(c *l7lb.Config) { c.RegisteredPorts = opts.RegisteredPorts },
-		})
-		if err != nil {
-			panic(fmt.Sprintf("bench: table2 device %d: %v", d, err))
-		}
-		dev := Table2Device{Name: fmt.Sprintf("device%02d", d)}
-		dev.MinUtil = 1
-		var sum float64
-		for _, u := range run.WorkerUtil {
-			if u > dev.MaxUtil {
-				dev.MaxUtil = u
+	cells := make([]Cell, devices)
+	for d := 0; d < devices; d++ {
+		d := d
+		name := fmt.Sprintf("device%02d", d)
+		cells[d] = Cell{Name: name, Run: func() any {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(d)*977))
+			region := workload.Regions()[d%4]
+			// Device load level varies widely across a region.
+			totalRPS := (4_000 + rng.Float64()*50_000) * opts.RateScale
+			specs := region.Specs(ports, totalRPS)
+			run, err := Run(RunConfig{
+				Mode:      l7lb.ModeExclusive,
+				Workers:   opts.Workers,
+				Ports:     ports,
+				Seed:      opts.Seed + int64(d),
+				Window:    opts.Window,
+				Drain:     opts.Drain / 2,
+				Specs:     specs,
+				Telemetry: opts.Metrics.Sink(name),
+				Mutate:    func(c *l7lb.Config) { c.RegisteredPorts = opts.RegisteredPorts },
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: table2 device %d: %v", d, err))
 			}
-			if u < dev.MinUtil {
-				dev.MinUtil = u
+			dev := Table2Device{Name: name}
+			dev.MinUtil = 1
+			var sum float64
+			for _, u := range run.WorkerUtil {
+				if u > dev.MaxUtil {
+					dev.MaxUtil = u
+				}
+				if u < dev.MinUtil {
+					dev.MinUtil = u
+				}
+				sum += u
 			}
-			sum += u
-		}
-		dev.AvgUtil = sum / float64(len(run.WorkerUtil))
-		devs[d] = dev
-	})
+			dev.AvgUtil = sum / float64(len(run.WorkerUtil))
+			return dev
+		}}
+	}
+	return cells
+}
+
+func (table2Experiment) Render(opts Options, results []any) string {
+	return RenderTable2(table2Assemble(results))
+}
+
+func table2Assemble(results []any) Table2Result {
+	devs := make([]Table2Device, len(results))
+	for i, r := range results {
+		devs[i] = r.(Table2Device)
+	}
+	devices := len(devs)
 
 	res := Table2Result{Devices: devices}
 	res.Worst, res.Best = devs[0], devs[0]
@@ -139,6 +173,12 @@ func Table2(opts Options) Table2Result {
 		AvgUtil: avgSum / float64(devices),
 	}
 	return res
+}
+
+// Table2 runs all device cells and returns the assembled result.
+func Table2(opts Options) Table2Result {
+	e := table2Experiment{}
+	return table2Assemble(runCells(opts, e.Cells(opts)))
 }
 
 // RenderTable2 formats Table 2.

@@ -9,6 +9,11 @@ import (
 	"hermes/internal/stats"
 )
 
+func init() {
+	Register(Seq("walkthrough",
+		"appendix A3/A4 example: a,b1..b4 across 3 workers per mode", Walkthrough))
+}
+
 // Walkthrough reproduces the appendix examples (Figs. A3/A4): three workers,
 // five connections — request a with two events of 2t each, requests b1..b4
 // with two events of t each — dispatched under exclusive, reuseport, and

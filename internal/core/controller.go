@@ -27,9 +27,13 @@ type Controller struct {
 	passedSum     atomic.Uint64
 	aliveSum      atomic.Uint64
 	emptySets     atomic.Uint64
+
+	tel Instruments
 }
 
 // NewController creates Hermes state for n workers (1..64).
+//
+// Deprecated: use New, which picks the deployment level from n.
 func NewController(n int, cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -132,6 +136,13 @@ func (c *Controller) AttachNative(g *kernel.ReuseportGroup) error {
 	return nil
 }
 
+// Instrument wires telemetry for Algorithm 1 decisions (implements Instance).
+func (c *Controller) Instrument(ins Instruments) { c.tel = ins }
+
+// Hook returns worker id's hook as the deployment-independent interface
+// (implements Instance).
+func (c *Controller) Hook(id int) Hook { return c.NewWorkerHook(id) }
+
 // NewWorkerHook returns worker id's instrumentation handle — the few lines
 // Hermes adds to the epoll event loop (Fig. 9).
 func (c *Controller) NewWorkerHook(id int) *WorkerHook {
@@ -161,7 +172,11 @@ func (c *Controller) scheduleAndSync(nowNS int64, buf []shm.Metrics) (ScheduleRe
 	c.passedSum.Add(uint64(res.Passed))
 	if res.Passed == 0 {
 		c.emptySets.Add(1)
+		c.tel.EmptySets.Inc()
 	}
+	c.tel.Recomputes.Inc()
+	c.tel.WSTReads.Add(uint64(len(buf)))
+	c.tel.Passed.Observe(int64(res.Passed))
 
 	// Publish: shared-memory word for userspace observers, eBPF map for the
 	// kernel dispatcher. Both are single atomic stores; concurrent workers
@@ -169,6 +184,7 @@ func (c *Controller) scheduleAndSync(nowNS int64, buf []shm.Metrics) (ScheduleRe
 	c.wst.StoreSelection(uint64(res.Bitmap))
 	if err := c.sel.Update(0, uint64(res.Bitmap)); err == nil {
 		c.syncs.Add(1)
+		c.tel.Syncs.Inc()
 	}
 	return res, buf
 }

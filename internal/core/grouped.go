@@ -23,10 +23,13 @@ type GroupedController struct {
 	key   GroupKey
 	wst   *shm.Grouped
 	sels  []*ebpf.ArrayMap
+	tel   Instruments
 }
 
 // NewGroupedController creates Hermes state for n workers split into
 // ceil(n/64) equal-span groups keyed by key.
+//
+// Deprecated: use New, which picks the deployment level from n.
 func NewGroupedController(n int, cfg Config, key GroupKey) (*GroupedController, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -45,6 +48,8 @@ func NewGroupedController(n int, cfg Config, key GroupKey) (*GroupedController, 
 // nGroups groups (locality tuning: the grouping granularity controls the
 // locality/balance trade-off, Fig. A6). n must divide evenly into nGroups
 // spans of at most 64.
+//
+// Deprecated: use New with WithGroups(nGroups).
 func NewGroupedControllerWithGroups(n, nGroups int, cfg Config, key GroupKey) (*GroupedController, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -127,6 +132,13 @@ func (g *GroupedController) AttachNative(rg *kernel.ReuseportGroup) error {
 	return nil
 }
 
+// Instrument wires telemetry for Algorithm 1 decisions (implements Instance).
+func (g *GroupedController) Instrument(ins Instruments) { g.tel = ins }
+
+// Hook returns global worker id's hook as the deployment-independent
+// interface (implements Instance).
+func (g *GroupedController) Hook(id int) Hook { return g.NewWorkerHook(id) }
+
 // NewWorkerHook returns global worker id's hook. The embedded scheduler
 // operates on the worker's own group only: groups are independent control
 // loops (§7).
@@ -175,8 +187,16 @@ func (h *GroupedWorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
 	wst := h.gc.wst.Group(h.group)
 	h.buf = wst.Snapshot(h.buf[:0])
 	res := Schedule(nowNS, h.buf, h.gc.cfg, h.gc.order)
+	h.gc.tel.Recomputes.Inc()
+	h.gc.tel.WSTReads.Add(uint64(len(h.buf)))
+	h.gc.tel.Passed.Observe(int64(res.Passed))
+	if res.Passed == 0 {
+		h.gc.tel.EmptySets.Inc()
+	}
 	wst.StoreSelection(uint64(res.Bitmap))
-	_ = h.gc.sels[h.group].Update(0, uint64(res.Bitmap))
+	if err := h.gc.sels[h.group].Update(0, uint64(res.Bitmap)); err == nil {
+		h.gc.tel.Syncs.Inc()
+	}
 	return res
 }
 

@@ -3,6 +3,8 @@ package ebpf
 import (
 	"fmt"
 	"sync/atomic"
+
+	"hermes/internal/telemetry"
 )
 
 // MapType identifies the simulated map kinds Hermes uses.
@@ -45,6 +47,17 @@ type ArrayMap struct {
 	// SyscallCount counts userspace update/lookup operations, modelling the
 	// syscall + context-switch cost accounted in Table 5.
 	SyscallCount atomic.Uint64
+
+	telUpdates *telemetry.Counter
+	telLookups *telemetry.Counter
+}
+
+// Instrument wires telemetry counters for userspace map operations: updates
+// counts BPF_MAP_UPDATE_ELEM calls, lookups counts both user and in-kernel
+// element reads. Nil handles record nothing.
+func (m *ArrayMap) Instrument(updates, lookups *telemetry.Counter) {
+	m.telUpdates = updates
+	m.telLookups = lookups
 }
 
 // NewArrayMap creates an array map with maxEntries zeroed elements.
@@ -66,6 +79,7 @@ func (m *ArrayMap) Lookup(key uint32) (uint64, bool) {
 	if int(key) >= len(m.vals) {
 		return 0, false
 	}
+	m.telLookups.Inc()
 	return atomic.LoadUint64(&m.vals[key]), true
 }
 
@@ -76,6 +90,7 @@ func (m *ArrayMap) Update(key uint32, val uint64) error {
 	}
 	atomic.StoreUint64(&m.vals[key], val)
 	m.SyscallCount.Add(1)
+	m.telUpdates.Inc()
 	return nil
 }
 
@@ -85,6 +100,7 @@ func (m *ArrayMap) UserLookup(key uint32) (uint64, error) {
 		return 0, fmt.Errorf("ebpf: lookup key %d out of range [0,%d)", key, len(m.vals))
 	}
 	m.SyscallCount.Add(1)
+	m.telLookups.Inc()
 	return atomic.LoadUint64(&m.vals[key]), nil
 }
 

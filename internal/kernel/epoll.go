@@ -86,6 +86,8 @@ type Epoll struct {
 	SpuriousWakeups  uint64 // woken with zero events (thundering herd waste)
 	EventsDelivered  uint64 // total events returned
 	LastBlockStartNS int64  // when the current/last block began
+
+	tel EpollInstruments
 }
 
 // Add registers a socket with this epoll instance (EPOLL_CTL_ADD) in
@@ -199,11 +201,14 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 	if evs := ep.collect(maxEvents); len(evs) > 0 {
 		ep.Waits++
 		ep.EventsDelivered += uint64(len(evs))
+		ep.tel.Wakeups.Inc()
+		ep.tel.Events.Add(uint64(len(evs)))
 		ep.ns.eng.At(ep.ns.eng.Now(), func() { fn(evs) })
 		return
 	}
 	if timeout == 0 {
 		ep.Waits++
+		ep.tel.Wakeups.Inc()
 		ep.ns.eng.At(ep.ns.eng.Now(), func() { fn(nil) })
 		return
 	}
@@ -218,6 +223,9 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 			ep.waiter = nil
 			ep.Waits++
 			ep.Timeouts++
+			ep.tel.Wakeups.Inc()
+			ep.tel.Timeouts.Inc()
+			ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
 			fn(nil)
 		})
 	}
@@ -247,8 +255,12 @@ func (ep *Epoll) wake() {
 		evs := ep.collect(w.maxEvents)
 		ep.Waits++
 		ep.EventsDelivered += uint64(len(evs))
+		ep.tel.Wakeups.Inc()
+		ep.tel.Events.Add(uint64(len(evs)))
+		ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
 		if len(evs) == 0 {
 			ep.SpuriousWakeups++
+			ep.tel.Spurious.Inc()
 		}
 		w.fn(evs)
 	})

@@ -64,6 +64,8 @@ type NetStack struct {
 	SynDrops uint64
 	// ConnsEstablished counts successfully queued connections.
 	ConnsEstablished uint64
+
+	tel WakeInstruments
 }
 
 // DefaultAcceptBacklog is the accept-queue capacity used when callers pass
@@ -121,6 +123,7 @@ func (ns *NetStack) ListenReuseport(port uint16, n, backlog int) (*ReuseportGrou
 	for i := 0; i < n; i++ {
 		s := ns.newSocket(port, true, backlog)
 		s.group = g
+		s.groupIdx = i
 		g.socks = append(g.socks, s)
 	}
 	ns.groups[port] = g
@@ -230,12 +233,14 @@ func (ns *NetStack) socketReady(s *Socket) {
 	}
 	switch ns.Mode {
 	case WakeHerd:
+		ns.tel.Herd.Inc()
 		// Snapshot: wakes may mutate nothing here, but stay safe.
 		ws := append([]*watch(nil), s.watchers...)
 		for _, w := range ws {
 			w.ep.wake()
 		}
 	case WakeExclusiveLIFO:
+		ns.tel.LIFO.Inc()
 		for _, w := range s.watchers {
 			if w.ep.Blocked() {
 				w.ep.wake()
@@ -243,6 +248,7 @@ func (ns *NetStack) socketReady(s *Socket) {
 			}
 		}
 	case WakeExclusiveRR:
+		ns.tel.RR.Inc()
 		for _, w := range s.watchers {
 			if w.ep.Blocked() {
 				w.ep.wake()
@@ -251,6 +257,7 @@ func (ns *NetStack) socketReady(s *Socket) {
 			}
 		}
 	case WakeExclusiveFIFO:
+		ns.tel.FIFO.Inc()
 		for i := len(s.watchers) - 1; i >= 0; i-- {
 			if w := s.watchers[i]; w.ep.Blocked() {
 				w.ep.wake()

@@ -29,6 +29,8 @@ type ReuseportGroup struct {
 	HashDispatched uint64 // plain hash (no override attached)
 	Fallbacks      uint64 // override declined or picked an invalid socket
 	ProgErrors     uint64 // program execution errors (also fall back)
+
+	tel GroupInstruments
 }
 
 // Sockets returns the member sockets in bind order (socket i belongs to
@@ -64,31 +66,44 @@ func (g *ReuseportGroup) hashPick(hash uint32) *Socket {
 
 // selectSocket runs the dispatch decision for one incoming connection.
 func (g *ReuseportGroup) selectSocket(hash, localityHash uint32) *Socket {
+	s := g.pick(hash, localityHash)
+	g.tel.Steered.At(s.groupIdx).Inc()
+	return s
+}
+
+// pick chooses the member socket and maintains the outcome counters.
+func (g *ReuseportGroup) pick(hash, localityHash uint32) *Socket {
 	switch {
 	case g.prog != nil:
 		ctx := ebpf.ReuseportCtx{Hash: hash, LocalityHash: localityHash}
 		r0, err := g.prog.Run(&ctx)
 		if err != nil {
 			g.ProgErrors++
+			g.tel.ProgErrors.Inc()
 			return g.hashPick(hash)
 		}
 		if r0 == 0 && ctx.Selected != nil {
 			if s, ok := ctx.Selected.(*Socket); ok && s.group == g && !s.closed {
 				g.ProgDispatched++
+				g.tel.ProgHits.Inc()
 				return s
 			}
 		}
 		g.Fallbacks++
+		g.tel.Fallbacks.Inc()
 		return g.hashPick(hash)
 	case g.selectFn != nil:
 		if s, ok := g.selectFn(hash, localityHash); ok && s != nil && s.group == g && !s.closed {
 			g.ProgDispatched++
+			g.tel.ProgHits.Inc()
 			return s
 		}
 		g.Fallbacks++
+		g.tel.Fallbacks.Inc()
 		return g.hashPick(hash)
 	default:
 		g.HashDispatched++
+		g.tel.HashPicks.Inc()
 		return g.hashPick(hash)
 	}
 }

@@ -37,8 +37,10 @@ type Socket struct {
 	Port      uint16
 	Listening bool
 
-	ns    *NetStack
-	group *ReuseportGroup // reuseport membership, nil for shared/conn sockets
+	ns       *NetStack
+	group    *ReuseportGroup // reuseport membership, nil for shared/conn sockets
+	groupIdx int             // member index within group (worker id), 0 otherwise
+	tel      QueueInstruments
 
 	// Listening sockets: completed connections waiting for accept().
 	acceptQ   []*Conn
@@ -63,6 +65,10 @@ type Socket struct {
 
 // Conn returns the connection of a connection socket (nil for listeners).
 func (s *Socket) Conn() *Conn { return s.conn }
+
+// GroupIndex returns this socket's member index within its reuseport group
+// (worker i owns socket i in the LB deployments); 0 for non-group sockets.
+func (s *Socket) GroupIndex() int { return s.groupIdx }
 
 // QueueLen returns the current accept-queue depth (listening sockets).
 func (s *Socket) QueueLen() int { return len(s.acceptQ) }
@@ -122,9 +128,12 @@ func (s *Socket) enqueueConn(c *Conn) bool {
 	}
 	if len(s.acceptQ) >= s.acceptCap {
 		s.Drops++
+		s.tel.Dropped.Inc()
 		return false
 	}
 	s.acceptQ = append(s.acceptQ, c)
+	s.tel.Enqueued.Inc()
+	s.tel.DepthPeak.SetMax(int64(len(s.acceptQ)))
 	s.ns.socketReady(s)
 	return true
 }

@@ -1,0 +1,76 @@
+package kernel
+
+import "hermes/internal/telemetry"
+
+// This file is the kernel layer's telemetry seam. Each kernel object takes a
+// small bundle of instrument handles via Instrument(...); unwired bundles
+// hold nil handles, which record nothing (see package telemetry). The metric
+// catalog — names, layers, units — is owned by the wiring layer (l7lb), so
+// the kernel never touches a Sink or a metric name.
+
+// EpollInstruments instruments one epoll instance. In the LB deployments an
+// instance is owned by exactly one worker, so the caller typically slots
+// these out of per-worker vectors.
+type EpollInstruments struct {
+	// Wakeups counts completed epoll_wait calls, including timeouts —
+	// every return to userspace.
+	Wakeups *telemetry.Counter
+	// Spurious counts wakeups that delivered zero events (herd waste).
+	Spurious *telemetry.Counter
+	// Timeouts counts waits that expired with no events.
+	Timeouts *telemetry.Counter
+	// Events counts events delivered to this instance.
+	Events *telemetry.Counter
+	// Residency observes nanoseconds spent blocked per completed wait
+	// that actually blocked (immediate returns are not observed).
+	Residency *telemetry.Histogram
+}
+
+// Instrument wires telemetry into this epoll instance.
+func (ep *Epoll) Instrument(ins EpollInstruments) { ep.tel = ins }
+
+// QueueInstruments instruments one listening socket's accept queue. In
+// reuseport deployments socket i belongs to worker i, so per-worker wiring
+// slots these from vectors indexed by the member index.
+type QueueInstruments struct {
+	// Enqueued counts connections placed on the accept queue.
+	Enqueued *telemetry.Counter
+	// Dropped counts connections refused on queue overflow.
+	Dropped *telemetry.Counter
+	// DepthPeak tracks the high-water accept-queue depth.
+	DepthPeak *telemetry.Gauge
+}
+
+// Instrument wires telemetry into this listening socket.
+func (s *Socket) Instrument(ins QueueInstruments) { s.tel = ins }
+
+// WakeInstruments counts shared-socket wakeup decisions by discipline —
+// the LIFO-vs-rr split of §2.2. Only the counter matching the stack's
+// WakeMode advances, so a dump shows which discipline ran and how often.
+type WakeInstruments struct {
+	Herd *telemetry.Counter
+	LIFO *telemetry.Counter
+	RR   *telemetry.Counter
+	FIFO *telemetry.Counter
+}
+
+// Instrument wires wakeup-discipline telemetry into the stack.
+func (ns *NetStack) Instrument(ins WakeInstruments) { ns.tel = ins }
+
+// GroupInstruments instruments a reuseport group's dispatch decisions.
+type GroupInstruments struct {
+	// Steered counts connections dispatched to each member socket (worker),
+	// whatever path chose it — program, native selector, or hash.
+	Steered *telemetry.CounterVec
+	// ProgHits counts selections made by the attached program/selector.
+	ProgHits *telemetry.Counter
+	// HashPicks counts plain hash dispatches (no selector attached).
+	HashPicks *telemetry.Counter
+	// Fallbacks counts selector declines that fell back to hashing.
+	Fallbacks *telemetry.Counter
+	// ProgErrors counts selector execution errors (also fall back).
+	ProgErrors *telemetry.Counter
+}
+
+// Instrument wires telemetry into this reuseport group.
+func (g *ReuseportGroup) Instrument(ins GroupInstruments) { g.tel = ins }

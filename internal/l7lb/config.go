@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hermes/internal/core"
+	"hermes/internal/telemetry"
 )
 
 // Mode selects the connection dispatch mechanism.
@@ -190,6 +191,11 @@ type Config struct {
 	// Costs.UpstreamHandshake extra (§7 "More connections established with
 	// backend servers").
 	Upstream *UpstreamPool
+	// Telemetry, when set, wires the cross-layer metric catalog
+	// (docs/TELEMETRY.md) into the kernel, eBPF, core, and worker layers at
+	// build time. Nil disables all recording: the layers then hold nil
+	// instrument handles whose methods no-op.
+	Telemetry telemetry.Sink
 }
 
 // DefaultConfig returns a 32-core single-tenant LB in the given mode, the

@@ -30,10 +30,12 @@ type LB struct {
 	// GCtl is the two-level grouped controller (Hermes modes, >64 workers, §7).
 	GCtl *core.GroupedController
 
+	ctl         core.Instance // whichever of Ctl/GCtl is active
 	groups      []*kernel.ReuseportGroup
 	shared      []*kernel.Socket
 	mutex       *acceptMutex
 	acceptExtra time.Duration // per-accept dispatch overhead (mode-dependent)
+	tel         lbInstruments
 
 	// Latency samples end-to-end request time (ms).
 	Latency stats.Sample
@@ -103,54 +105,41 @@ func New(eng *sim.Engine, cfg Config) (*LB, error) {
 	}
 
 	if cfg.Mode.UsesHermes() {
-		if cfg.Workers > 64 {
-			// Two-level grouped deployment (§7): hash to a ≤64-worker
-			// group, bitmap-select within it.
-			gctl, err := core.NewGroupedController(cfg.Workers, cfg.Hermes, core.GroupByTupleHash)
+		// core.New picks the deployment level: ≤64 workers single-level,
+		// more get the two-level grouped deployment (§7): hash to a
+		// ≤64-worker group, bitmap-select within it.
+		inst, err := core.New(cfg.Workers, cfg.Hermes, core.WithGroupKey(core.GroupByTupleHash))
+		if err != nil {
+			return nil, err
+		}
+		lb.ctl = inst
+		switch c := inst.(type) {
+		case *core.Controller:
+			lb.Ctl = c
+		case *core.GroupedController:
+			lb.GCtl = c
+		}
+		inst.SetFilterOrder(cfg.FilterOrder)
+		for _, g := range lb.groups {
+			if cfg.Mode == ModeHermes {
+				err = inst.AttachEBPF(g)
+			} else {
+				err = inst.AttachNative(g)
+			}
 			if err != nil {
 				return nil, err
-			}
-			lb.GCtl = gctl
-			gctl.SetFilterOrder(cfg.FilterOrder)
-			for _, g := range lb.groups {
-				if cfg.Mode == ModeHermes {
-					err = gctl.AttachEBPF(g)
-				} else {
-					err = gctl.AttachNative(g)
-				}
-				if err != nil {
-					return nil, err
-				}
-			}
-		} else {
-			ctl, err := core.NewController(cfg.Workers, cfg.Hermes)
-			if err != nil {
-				return nil, err
-			}
-			lb.Ctl = ctl
-			ctl.SetFilterOrder(cfg.FilterOrder)
-			for _, g := range lb.groups {
-				if cfg.Mode == ModeHermes {
-					err = ctl.AttachEBPF(g)
-				} else {
-					err = ctl.AttachNative(g)
-				}
-				if err != nil {
-					return nil, err
-				}
 			}
 		}
 	}
 	if cfg.Mode == ModeAcceptMutex {
 		lb.mutex = &acceptMutex{}
 	}
+	wireTelemetry(lb)
 
 	for i := 0; i < cfg.Workers; i++ {
 		var hook Hook = NopHook{}
-		if lb.Ctl != nil {
-			hook = hermesHook{lb.Ctl.NewWorkerHook(i)}
-		} else if lb.GCtl != nil {
-			hook = hermesGroupedHook{lb.GCtl.NewWorkerHook(i)}
+		if lb.ctl != nil {
+			hook = coreHook{lb.ctl.Hook(i)}
 		}
 		w := newWorker(lb, i, hook)
 		if cfg.Backends != nil {
@@ -239,6 +228,7 @@ func (lb *LB) recordCompletion(w *Worker, conn *kernel.Conn, work Work) {
 	} else {
 		lb.Completed++
 		lb.Latency.AddDuration(lat)
+		lb.tel.latency.Observe(lat)
 	}
 	lb.BytesIn += uint64(work.Size)
 	lb.BytesOut += uint64(work.RespSize)
@@ -256,28 +246,16 @@ func (lb *LB) notifyReset(conn *kernel.Conn) {
 	}
 }
 
-// hermesGroupedHook adapts the grouped (>64-worker) hook to the Hook seam.
-type hermesGroupedHook struct{ h *core.GroupedWorkerHook }
+// coreHook adapts the deployment-independent core hook to the Hook seam
+// (single-level and grouped controllers alike).
+type coreHook struct{ h core.Hook }
 
-func (h hermesGroupedHook) LoopEnter(now int64) { h.h.LoopEnter(now) }
-func (h hermesGroupedHook) EventsFetched(n int) { h.h.EventsFetched(n) }
-func (h hermesGroupedHook) EventHandled()       { h.h.EventHandled() }
-func (h hermesGroupedHook) ConnOpened()         { h.h.ConnOpened() }
-func (h hermesGroupedHook) ConnClosed()         { h.h.ConnClosed() }
-func (h hermesGroupedHook) ScheduleAndSync(now int64) bool {
-	h.h.ScheduleAndSync(now)
-	return true
-}
-
-// hermesHook adapts core's worker hook to the l7lb Hook seam.
-type hermesHook struct{ h *core.WorkerHook }
-
-func (h hermesHook) LoopEnter(now int64) { h.h.LoopEnter(now) }
-func (h hermesHook) EventsFetched(n int) { h.h.EventsFetched(n) }
-func (h hermesHook) EventHandled()       { h.h.EventHandled() }
-func (h hermesHook) ConnOpened()         { h.h.ConnOpened() }
-func (h hermesHook) ConnClosed()         { h.h.ConnClosed() }
-func (h hermesHook) ScheduleAndSync(now int64) bool {
+func (h coreHook) LoopEnter(now int64) { h.h.LoopEnter(now) }
+func (h coreHook) EventsFetched(n int) { h.h.EventsFetched(n) }
+func (h coreHook) EventHandled()       { h.h.EventHandled() }
+func (h coreHook) ConnOpened()         { h.h.ConnOpened() }
+func (h coreHook) ConnClosed()         { h.h.ConnClosed() }
+func (h coreHook) ScheduleAndSync(now int64) bool {
 	h.h.ScheduleAndSync(now)
 	return true
 }

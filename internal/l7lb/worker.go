@@ -5,6 +5,7 @@ import (
 
 	"hermes/internal/kernel"
 	"hermes/internal/stats"
+	"hermes/internal/telemetry"
 )
 
 // Worker is one LB worker process pinned to one CPU core, running the
@@ -56,6 +57,11 @@ type Worker struct {
 	EventsPerWait *stats.Sample // Fig. 4
 	BatchProcNS   *stats.Sample // Fig. 5a
 	BlockNS       *stats.Sample // Fig. 5b
+
+	// Telemetry slot handles (nil = disabled, see Config.Telemetry).
+	telServed   *telemetry.Counter
+	telAccepted *telemetry.Counter
+	telOpen     *telemetry.Timeline
 }
 
 type execJob struct {
@@ -83,6 +89,17 @@ func newWorker(lb *LB, id int, hook Hook) *Worker {
 		w.BatchProcNS = &stats.Sample{}
 		w.BlockNS = &stats.Sample{}
 	}
+	// Slot this worker's telemetry handles (nil no-ops when disabled).
+	w.telServed = lb.tel.served.At(id)
+	w.telAccepted = lb.tel.accepted.At(id)
+	w.telOpen = lb.tel.openConns.At(id)
+	w.ep.Instrument(kernel.EpollInstruments{
+		Wakeups:   lb.tel.epWakeups.At(id),
+		Spurious:  lb.tel.epSpurious.At(id),
+		Timeouts:  lb.tel.epTimeouts.At(id),
+		Events:    lb.tel.epEvents.At(id),
+		Residency: lb.tel.epWaitNS,
+	})
 	return w
 }
 
@@ -178,6 +195,7 @@ func (w *Worker) loopEnter() {
 	}
 	now := w.lb.Eng.Now()
 	w.hook.LoopEnter(now)
+	w.telOpen.Record(now, int64(len(w.conns)))
 	if w.lb.Cfg.ScheduleAtLoopStart {
 		if w.hook.ScheduleAndSync(now) {
 			w.busy(w.lb.Cfg.Costs.Schedule)
@@ -266,6 +284,8 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 			return costs.SpuriousWake, nil
 		}
 		w.Accepted++
+		w.telAccepted.Inc()
+		w.lb.tel.acceptWait.Observe(conn.AcceptedNS - conn.EstablishedNS)
 		if max := w.lb.Cfg.MaxConnsPerWorker; max > 0 && len(w.conns) >= max {
 			// Connection pool exhausted: reset (§5.1.1).
 			w.ResetConns++
@@ -306,6 +326,7 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 				w.lb.Cfg.Upstream.Release(w.ID, backendID)
 			}
 			w.Completed++
+			w.telServed.Inc()
 			w.lb.recordCompletion(w, sock.Conn(), work)
 			if work.Close {
 				w.closeConn(sock)

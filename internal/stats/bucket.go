@@ -1,0 +1,41 @@
+package stats
+
+// BucketQuantile estimates quantile p in (0,1) from a fixed-bucket
+// histogram: bounds are the inclusive upper bounds of the finite buckets
+// (strictly increasing) and counts holds one entry per finite bucket plus a
+// trailing +Inf overflow bucket (len(counts) == len(bounds)+1; a shorter
+// counts slice is treated as having empty trailing buckets). The estimate
+// interpolates linearly within the containing bucket, the same convention
+// Prometheus histogram_quantile uses. Observations in the overflow bucket
+// clamp to the largest finite bound. Returns 0 for an empty histogram.
+func BucketQuantile(bounds []int64, counts []uint64, p float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			break // overflow bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(bounds[i-1])
+		}
+		hi := float64(bounds[i])
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return float64(bounds[len(bounds)-1])
+}

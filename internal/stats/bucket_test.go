@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []int64{10, 20, 40} // +Inf overflow bucket is implicit
+	for _, tc := range []struct {
+		name   string
+		bounds []int64
+		counts []uint64
+		p      float64
+		want   float64
+	}{
+		{"empty", bounds, []uint64{0, 0, 0, 0}, 0.5, 0},
+		{"no-bounds", nil, nil, 0.5, 0},
+		{"uniform-median", bounds, []uint64{10, 10, 10, 0}, 0.5, 15},
+		{"first-bucket", bounds, []uint64{100, 0, 0, 0}, 0.5, 5},
+		{"interpolates", bounds, []uint64{0, 100, 0, 0}, 0.25, 12.5},
+		{"overflow-clamps", bounds, []uint64{0, 0, 0, 50}, 0.99, 40},
+		{"p99-in-last-finite", bounds, []uint64{98, 0, 2, 0}, 0.99, 30},
+		{"all-in-one", bounds, []uint64{0, 0, 7, 0}, 1.0, 40},
+	} {
+		got := BucketQuantile(tc.bounds, tc.counts, tc.p)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: BucketQuantile(p=%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// Quantiles over the same histogram must be monotone in p.
+func TestBucketQuantileMonotone(t *testing.T) {
+	bounds := []int64{1, 2, 4, 8, 16, 32}
+	counts := []uint64{5, 0, 12, 40, 3, 1, 2}
+	prev := math.Inf(-1)
+	for p := 0.01; p <= 1.0; p += 0.01 {
+		v := BucketQuantile(bounds, counts, p)
+		if v < prev {
+			t.Fatalf("p=%v: quantile %v < previous %v", p, v, prev)
+		}
+		prev = v
+	}
+}

@@ -68,6 +68,71 @@ func TestP2MatchesExactOnDistributions(t *testing.T) {
 	}
 }
 
+// Degenerate inputs must stay exact and finite: fewer than five
+// observations (the init phase), all-equal streams, two-valued streams,
+// and a step change — the regimes a short or idle monitoring window feeds
+// the estimator.
+func TestP2DegenerateInputs(t *testing.T) {
+	t.Run("underfilled", func(t *testing.T) {
+		for _, tc := range []struct {
+			p    float64
+			obs  []float64
+			want float64
+		}{
+			{0.5, []float64{42}, 42},
+			{0.99, []float64{42}, 42},
+			{0.5, []float64{2, 1}, 2},
+			{0.99, []float64{1, 2, 3, 4}, 4},
+			{0.01, []float64{4, 3, 2, 1}, 1},
+			{0.5, []float64{7, 7, 7, 7}, 7},
+		} {
+			e := NewP2Quantile(tc.p)
+			for _, v := range tc.obs {
+				e.Add(v)
+			}
+			if got := e.Value(); got != tc.want {
+				t.Errorf("p=%v obs=%v: got %v, want %v", tc.p, tc.obs, got, tc.want)
+			}
+		}
+	})
+	t.Run("all-equal", func(t *testing.T) {
+		for _, p := range []float64{0.01, 0.5, 0.99} {
+			e := NewP2Quantile(p)
+			for i := 0; i < 10_000; i++ {
+				e.Add(7)
+				if got := e.Value(); got != 7 {
+					t.Fatalf("p=%v: all-equal stream drifted to %v at n=%d", p, got, i+1)
+				}
+			}
+		}
+	})
+	t.Run("finite-and-ordered", func(t *testing.T) {
+		streams := map[string]func(i int) float64{
+			"two-valued": func(i int) float64 { return float64(i % 2) },
+			"step":       func(i int) float64 { return 1 + 99*float64(i/500) },
+			"descending": func(i int) float64 { return float64(1000 - i) },
+		}
+		for name, gen := range streams {
+			for _, p := range []float64{0.01, 0.5, 0.99} {
+				e := NewP2Quantile(p)
+				for i := 0; i < 1000; i++ {
+					e.Add(gen(i))
+					if v := e.Value(); math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s p=%v: non-finite estimate at n=%d", name, p, i+1)
+					}
+					if i >= 5 {
+						for j := 1; j < 5; j++ {
+							if e.q[j] < e.q[j-1] {
+								t.Fatalf("%s p=%v: markers disordered at n=%d: %v", name, p, i+1, e.q)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 func TestP2MonotoneMarkerInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	e := NewP2Quantile(0.95)

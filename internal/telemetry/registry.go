@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the live Sink: it owns every registered instrument and can
+// snapshot them all atomically-per-value at any time. Registration takes a
+// lock (it happens once, at wiring time); recording through the returned
+// handles is lock-free.
+//
+// Requesting the same metric name twice returns the same handle, so
+// several components may share an instrument (e.g. the per-worker wakeup
+// vec wired to each epoll instance).
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+type entry struct {
+	m    Metric
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	cv   *CounterVec
+	gv   *GaugeVec
+	tv   *TimelineVec
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// get finds or creates the entry for m. The caller must hold r.mu and must
+// finish initializing a fresh entry's instrument before releasing it, so
+// that every entry visible to Snapshot is fully built.
+func (r *Registry) get(m Metric, kind Kind) *entry {
+	if e, ok := r.byName[m.Name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v (was %v)", m.Name, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{m: m, kind: kind}
+	r.byName[m.Name] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter implements Sink.
+func (r *Registry) Counter(m Metric) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(m, KindCounter)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge implements Sink.
+func (r *Registry) Gauge(m Metric) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(m, KindGauge)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram implements Sink. bounds are the inclusive bucket upper bounds,
+// strictly increasing; the first registration wins.
+func (r *Registry) Histogram(m Metric, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(m, KindHistogram)
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// CounterVec implements Sink; n is the family size (first registration wins).
+func (r *Registry) CounterVec(m Metric, n int) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(m, KindCounterVec)
+	if e.cv == nil {
+		e.cv = &CounterVec{cs: make([]Counter, n)}
+	}
+	return e.cv
+}
+
+// GaugeVec implements Sink.
+func (r *Registry) GaugeVec(m Metric, n int) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(m, KindGaugeVec)
+	if e.gv == nil {
+		e.gv = &GaugeVec{gs: make([]Gauge, n)}
+	}
+	return e.gv
+}
+
+// TimelineVec implements Sink; n timelines of the given depth.
+func (r *Registry) TimelineVec(m Metric, n, depth int) *TimelineVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.get(m, KindTimelineVec)
+	if e.tv == nil {
+		tv := &TimelineVec{ts: make([]Timeline, n)}
+		for i := range tv.ts {
+			tv.ts[i].buf = make([]atomic.Int64, 2*depth)
+		}
+		e.tv = tv
+	}
+	return e.tv
+}
+
+// Snapshot captures every registered instrument. Each value is read with
+// the same atomic the writers use; the snapshot is consistent per value
+// and stable once taken. Metrics are ordered by name for deterministic
+// rendering.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	snap := Snapshot{Metrics: make([]MetricSnapshot, 0, len(entries))}
+	for _, e := range entries {
+		ms := MetricSnapshot{
+			Name:  e.m.Name,
+			Layer: e.m.Layer,
+			Unit:  e.m.Unit,
+			Kind:  e.kind.String(),
+		}
+		switch e.kind {
+		case KindCounter:
+			ms.Value = int64(e.c.Load())
+		case KindGauge:
+			ms.Value = e.g.Load()
+		case KindHistogram:
+			ms.Count = e.h.Count()
+			ms.Sum = e.h.Sum()
+			ms.Buckets = make([]Bucket, len(e.h.counts))
+			for i := range e.h.counts {
+				b := Bucket{Count: e.h.counts[i].Load()}
+				if i < len(e.h.bounds) {
+					b.LE = e.h.bounds[i]
+				} else {
+					b.Inf = true
+				}
+				ms.Buckets[i] = b
+			}
+		case KindCounterVec:
+			ms.Values = make([]int64, e.cv.Len())
+			for i := range ms.Values {
+				ms.Values[i] = int64(e.cv.At(i).Load())
+			}
+		case KindGaugeVec:
+			ms.Values = make([]int64, e.gv.Len())
+			for i := range ms.Values {
+				ms.Values[i] = e.gv.At(i).Load()
+			}
+		case KindTimelineVec:
+			ms.Timelines = make([][]Sample, e.tv.Len())
+			for i := range ms.Timelines {
+				ms.Timelines[i] = e.tv.At(i).Snapshot()
+			}
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool { return snap.Metrics[i].Name < snap.Metrics[j].Name })
+	return snap
+}
