@@ -1,0 +1,180 @@
+// Checkspans validates a hermes-bench -spans dump (either encoding: Chrome
+// trace-event JSON or compact JSONL). It checks the schema — known span
+// kinds, legal tracks, non-negative durations — plus the per-connection
+// lifecycle invariants the tracer promises (docs/TRACING.md): sim-timestamps
+// monotone along each connection's span chain, accept-queue residency nested
+// between SYN and close, every notify-wait abutting the serve it woke, and
+// close last. CI runs it as the tracing smoke test, the way checkmetrics
+// smokes the telemetry dump.
+//
+//	go run ./cmd/checkspans dump.json
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"hermes/internal/tracing"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkspans <dump.json|dump.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	spans, meta, err := tracing.ReadSpans(f)
+	if err != nil {
+		fatal("not a span dump: " + err.Error())
+	}
+	if len(spans) == 0 {
+		fatal("dump has no spans")
+	}
+
+	byConn := make(map[uint64][]tracing.Span)
+	for i, s := range spans {
+		if err := checkSpan(s); err != nil {
+			fatal(fmt.Sprintf("span %d (%s): %v", i, s.Kind, err))
+		}
+		if s.Conn != 0 {
+			byConn[s.Conn] = append(byConn[s.Conn], s)
+		}
+	}
+	conns := make([]uint64, 0, len(byConn))
+	for id := range byConn {
+		conns = append(conns, id)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i] < conns[j] })
+	for _, id := range conns {
+		if err := checkConn(byConn[id]); err != nil {
+			fatal(fmt.Sprintf("conn %d: %v", id, err))
+		}
+	}
+	if meta.ConnsKept > 0 && len(byConn) == 0 {
+		fatal(fmt.Sprintf("meta says %d connections kept but no conn-scoped spans", meta.ConnsKept))
+	}
+	fmt.Printf("ok: %d spans, %d connections (meta: %d/%d conns kept, %d committed, %d dropped)\n",
+		len(spans), len(byConn), meta.ConnsKept, meta.ConnsSeen, meta.SpansCommitted, meta.SpansDropped)
+}
+
+// checkSpan enforces the per-span schema: a known kind on its legal track
+// with sane timestamps.
+func checkSpan(s tracing.Span) error {
+	if _, ok := tracing.KindFromName(s.Kind.String()); !ok {
+		return fmt.Errorf("unknown kind %d", int(s.Kind))
+	}
+	if s.StartNS < 0 {
+		return fmt.Errorf("negative start %d", s.StartNS)
+	}
+	if s.EndNS < s.StartNS {
+		return fmt.Errorf("end %d before start %d", s.EndNS, s.StartNS)
+	}
+	kernel := s.Worker == tracing.KernelTrack
+	switch s.Kind {
+	case tracing.KindSYN, tracing.KindDrop, tracing.KindSelmapSync:
+		if !kernel {
+			return fmt.Errorf("must sit on the kernel track, got worker %d", s.Worker)
+		}
+	default:
+		if kernel || s.Worker < 0 {
+			return fmt.Errorf("must sit on a worker track, got %d", s.Worker)
+		}
+	}
+	switch s.Kind {
+	case tracing.KindSYN, tracing.KindDrop:
+		if _, ok := tracing.ViaFromName(tracing.Via(s.Arg).String()); !ok {
+			return fmt.Errorf("unknown via %d", s.Arg)
+		}
+	case tracing.KindAcceptQueue, tracing.KindNotifyWait, tracing.KindServe, tracing.KindWakeup:
+		// Duration spans; instants of these kinds are legal (zero residency
+		// or back-to-back wakeup), so nothing beyond End >= Start above.
+	}
+	if s.Conn == 0 {
+		switch s.Kind {
+		case tracing.KindDrop, tracing.KindWakeup, tracing.KindSchedule, tracing.KindSelmapSync:
+		default:
+			return fmt.Errorf("conn-scoped kind with no connection id")
+		}
+	}
+	return nil
+}
+
+// checkConn enforces lifecycle nesting along one connection's span chain.
+func checkConn(spans []tracing.Span) error {
+	tracing.SortSpans(spans)
+	var syn, queue, accept, close_ *tracing.Span
+	var serves, notifies []tracing.Span
+	for i := range spans {
+		s := &spans[i]
+		switch s.Kind {
+		case tracing.KindSYN:
+			if syn != nil {
+				return fmt.Errorf("duplicate syn")
+			}
+			syn = s
+		case tracing.KindAcceptQueue:
+			if queue != nil {
+				return fmt.Errorf("duplicate accept_queue")
+			}
+			queue = s
+		case tracing.KindAccept:
+			if accept != nil {
+				return fmt.Errorf("duplicate accept")
+			}
+			accept = s
+		case tracing.KindClose:
+			if close_ != nil {
+				return fmt.Errorf("duplicate close")
+			}
+			close_ = s
+		case tracing.KindServe:
+			serves = append(serves, *s)
+		case tracing.KindNotifyWait:
+			notifies = append(notifies, *s)
+		default:
+			return fmt.Errorf("unexpected %s on a connection chain", s.Kind)
+		}
+	}
+	if syn != nil && queue != nil && queue.StartNS < syn.StartNS {
+		return fmt.Errorf("accept_queue starts %d, before syn %d", queue.StartNS, syn.StartNS)
+	}
+	if queue != nil && accept != nil && accept.StartNS != queue.EndNS {
+		return fmt.Errorf("accept instant %d does not end the accept_queue span %d", accept.StartNS, queue.EndNS)
+	}
+	acceptedAt := int64(-1)
+	if queue != nil {
+		acceptedAt = queue.EndNS
+	}
+	// Each notify_wait must abut the serve it woke: same timestamp where
+	// the wait ends and service begins.
+	serveStarts := make(map[int64]bool, len(serves))
+	for _, s := range serves {
+		if s.StartNS < acceptedAt {
+			return fmt.Errorf("serve at %d precedes accept at %d", s.StartNS, acceptedAt)
+		}
+		serveStarts[s.StartNS] = true
+	}
+	for _, n := range notifies {
+		if !serveStarts[n.EndNS] {
+			return fmt.Errorf("notify_wait ending %d has no serve starting there", n.EndNS)
+		}
+	}
+	if close_ != nil {
+		for _, s := range spans {
+			if s.Kind != tracing.KindClose && s.EndNS > close_.StartNS {
+				return fmt.Errorf("%s ends %d, after close %d", s.Kind, s.EndNS, close_.StartNS)
+			}
+		}
+	}
+	return nil
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "checkspans: "+msg)
+	os.Exit(1)
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"hermes/internal/bench"
+	"hermes/internal/tracing"
 )
 
 func main() {
@@ -39,6 +40,11 @@ func main() {
 		tenants  = flag.Int("tenants", 8, "tenant ports per LB")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "cell-level fan-out (independent sims per experiment); 1 = sequential")
 		metrics  = flag.String("metrics", "", "write per-cell telemetry dumps (JSON) to this path")
+
+		spans      = flag.String("spans", "", "record one cell's span dump (docs/TRACING.md) to this path (.jsonl = compact; else Chrome trace JSON)")
+		spanCell   = flag.String("span-cell", "", "cell to record (default: the experiment's first cell; see -exp list)")
+		spanSample = flag.Int("span-sample", 1, "head-sample 1 in N connections (1 = every connection)")
+		spanTail   = flag.Duration("span-tail", 0, "also keep any connection with a request at least this slow (0 = off)")
 	)
 	flag.Parse()
 
@@ -65,6 +71,29 @@ func main() {
 			}
 		}
 		return
+	}
+
+	if *spans != "" {
+		// Span recording is scoped to one cell of one experiment: resolve
+		// the designated cell up front (before any fan-out) so the choice
+		// is deterministic at every -parallel setting.
+		if *exp == "all" || strings.Contains(*exp, ",") {
+			fmt.Fprintln(os.Stderr, "-spans records a single experiment: pass one -exp name")
+			os.Exit(2)
+		}
+		e, ok := experiments[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", *exp)
+			os.Exit(2)
+		}
+		cell := *spanCell
+		if cell == "" {
+			cell = e.Cells(opts)[0].Name
+		}
+		tcfg := tracing.DefaultConfig()
+		tcfg.SampleEvery = *spanSample
+		tcfg.TailLatencyNS = int64(*spanTail)
+		opts.Spans = bench.NewSpanRecorder(cell, tcfg)
 	}
 
 	dumps := make(map[string]*bench.MetricsCollector)
@@ -106,6 +135,27 @@ func main() {
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*metrics, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *spans != "" {
+		if !opts.Spans.Recorded() {
+			fmt.Fprintf(os.Stderr, "span cell %q never ran (check -span-cell against -exp list)\n", opts.Spans.Cell())
+			os.Exit(1)
+		}
+		f, err := os.Create(*spans)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create spans: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opts.Spans.WriteTo(f, strings.HasSuffix(*spans, ".jsonl")); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write spans: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -16,14 +16,17 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hermes/internal/core"
 	"hermes/internal/httpx"
 	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
 )
 
 func main() {
@@ -33,20 +36,30 @@ func main() {
 		workers    = flag.Int("workers", 4, "worker goroutines (1-64)")
 		admin      = flag.String("admin", "", "admin address serving the policy control API (GET/PUT /policy, GET /status)")
 		statsEvery = flag.Duration("stats-every", 0, "periodically print the telemetry catalog (0 = off)")
+		trace      = flag.String("trace", "", "record a span dump (docs/TRACING.md) of proxied connections, written on shutdown (.jsonl = compact; else Chrome trace JSON)")
 		demo       = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
 		demoReqs   = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
 	)
 	flag.Parse()
 
+	var tracer *tracing.Tracer
+	if *trace != "" {
+		// Real goroutines race on the recorder, unlike the single-threaded
+		// simulation: take the mutex-guarded variant.
+		cfg := tracing.DefaultConfig()
+		cfg.Concurrent = true
+		tracer = tracing.New(cfg)
+	}
+
 	if *demo {
-		runDemo(*workers, *demoReqs, *statsEvery)
+		runDemo(*workers, *demoReqs, *statsEvery, tracer, *trace)
 		return
 	}
 	if *backends == "" {
 		fmt.Fprintln(os.Stderr, "hermes-lb: -backends required (or use -demo)")
 		os.Exit(2)
 	}
-	lb, err := newProxy(*listen, strings.Split(*backends, ","), *workers)
+	lb, err := newProxy(*listen, strings.Split(*backends, ","), *workers, tracer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
 		os.Exit(1)
@@ -63,7 +76,25 @@ func main() {
 		go lb.reportStats(*statsEvery)
 	}
 	fmt.Printf("hermes-lb: %d workers proxying %s -> %s\n", *workers, lb.addr(), *backends)
-	lb.serveForever()
+
+	// Block until interrupted, then shut down cleanly: stop accepting,
+	// flush a final telemetry snapshot (a periodic reporter alone would
+	// drop everything since its last tick), and write the span dump.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nhermes-lb: shutting down")
+	lb.close()
+	if *statsEvery > 0 {
+		lb.printStats()
+	}
+	if tracer != nil {
+		if err := writeTrace(*trace, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hermes-lb: span dump written to %s\n", *trace)
+	}
 }
 
 // proxy is the real-socket LB.
@@ -81,16 +112,29 @@ type proxy struct {
 	latencyNS *telemetry.Histogram
 	upErrors  *telemetry.Counter
 
+	// ktr traces connection steering (-trace); nil disables recording.
+	ktr     *tracing.KernelTrace
+	connSeq atomic.Uint64
+
 	// Served counts proxied requests; Errors upstream failures.
 	Served atomic.Uint64
 	Errors atomic.Uint64
+}
+
+// tracedConn carries a queued connection plus the identity the flight
+// recorder spans it under (id 0 when tracing is off).
+type tracedConn struct {
+	c     net.Conn
+	id    uint64
+	estNS int64 // steering time: the accept-queue span starts here
 }
 
 type pworker struct {
 	id      int
 	p       *proxy
 	hook    *core.WorkerHook
-	queue   chan net.Conn
+	queue   chan tracedConn
+	tr      *tracing.WorkerTrace
 	prevQ   int // last queue depth folded into the busy metric
 	handled *telemetry.Counter
 	// Handled counts requests this worker proxied.
@@ -99,7 +143,7 @@ type pworker struct {
 	Delay atomic.Int64
 }
 
-func newProxy(listen string, backends []string, workers int) (*proxy, error) {
+func newProxy(listen string, backends []string, workers int, tracer *tracing.Tracer) (*proxy, error) {
 	reg := telemetry.NewRegistry()
 	inst, err := core.New(workers, core.DefaultConfig(), core.WithInstruments(core.Instruments{
 		Recomputes: reg.Counter(telemetry.Metric{Name: "core.schedule.recomputes", Layer: "core", Unit: "passes"}),
@@ -119,13 +163,13 @@ func newProxy(listen string, backends []string, workers int) (*proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &proxy{ln: ln, backends: backends, ctl: ctl, reg: reg}
+	p := &proxy{ln: ln, backends: backends, ctl: ctl, reg: reg, ktr: tracer.KernelTrace()}
 	p.handled = reg.CounterVec(telemetry.Metric{Name: "l7lb.worker.requests_served", Layer: "l7lb", Unit: "reqs"}, workers)
 	p.latencyNS = reg.Histogram(telemetry.Metric{Name: "l7lb.request_latency_ns", Layer: "l7lb", Unit: "ns"}, telemetry.DurationBuckets())
 	p.upErrors = reg.Counter(telemetry.Metric{Name: "l7lb.upstream_errors", Layer: "l7lb", Unit: "errors"})
 	for i := 0; i < workers; i++ {
-		w := &pworker{id: i, p: p, hook: ctl.NewWorkerHook(i), queue: make(chan net.Conn, 512),
-			handled: p.handled.At(i)}
+		w := &pworker{id: i, p: p, hook: ctl.NewWorkerHook(i), queue: make(chan tracedConn, 512),
+			tr: tracer.WorkerTrace(i), handled: p.handled.At(i)}
 		w.hook.LoopEnter(time.Now().UnixNano())
 		p.workers = append(p.workers, w)
 		go w.run()
@@ -136,17 +180,40 @@ func newProxy(listen string, backends []string, workers int) (*proxy, error) {
 }
 
 // reportStats periodically prints the telemetry catalog (the real-socket
-// twin of hermes-bench -metrics).
+// twin of hermes-bench -metrics). Shutdown paths call printStats once more
+// so the final partial interval is never lost.
 func (p *proxy) reportStats(every time.Duration) {
 	for range time.Tick(every) {
-		snap := p.reg.Snapshot()
-		fmt.Printf("--- telemetry %s ---\n%s", time.Now().Format(time.RFC3339), snap.Text())
+		p.printStats()
 	}
 }
 
-func (p *proxy) addr() string { return p.ln.Addr().String() }
+// printStats prints one telemetry snapshot.
+func (p *proxy) printStats() {
+	snap := p.reg.Snapshot()
+	fmt.Printf("--- telemetry %s ---\n%s", time.Now().Format(time.RFC3339), snap.Text())
+}
 
-func (p *proxy) serveForever() { select {} }
+// writeTrace flushes the flight recorder and writes its span dump.
+func writeTrace(path string, tr *tracing.Tracer) error {
+	tr.Flush()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := tracing.MetaFor("hermes-lb", tr.Stats())
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tracing.WriteJSONL(f, tr.Spans(), meta)
+	} else {
+		err = tracing.WriteChrome(f, tr.Spans(), meta)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (p *proxy) addr() string { return p.ln.Addr().String() }
 
 func (p *proxy) close() { p.ln.Close() }
 
@@ -163,20 +230,24 @@ func (p *proxy) acceptLoop() {
 		}
 		bitmap, _ := p.ctl.SelMap().Lookup(0)
 		h := p.hashSeq.Add(2654435761)
+		via := tracing.ViaProg
 		wi, ok := core.NativeSelect(bitmap, h, p.ctl.Config().MinWorkers)
 		if !ok {
+			via = tracing.ViaFallback
 			wi = int(h) % len(p.workers)
 			if wi < 0 {
 				wi = -wi
 			}
 		}
-		p.workers[wi].queue <- conn
+		tc := tracedConn{c: conn, id: p.connSeq.Add(1), estNS: time.Now().UnixNano()}
+		p.ktr.ConnEstablished(tc.id, tc.estNS, int32(wi), via)
+		p.workers[wi].queue <- tc
 	}
 }
 
 func (w *pworker) run() {
 	buf := make([]byte, 64<<10)
-	for conn := range w.queue {
+	for tc := range w.queue {
 		now := time.Now().UnixNano()
 		w.hook.LoopEnter(now)
 		// Fold the channel backlog into the pending-event metric: queued
@@ -185,14 +256,17 @@ func (w *pworker) run() {
 		w.hook.EventsFetched(q - w.prevQ)
 		w.prevQ = q - 1
 		w.hook.ConnOpened()
-		w.serve(conn, buf)
+		w.tr.Accept(tc.id, tc.estNS, now)
+		w.serve(tc, buf)
+		w.tr.Close(tc.id, time.Now().UnixNano(), false)
 		w.hook.ConnClosed()
 		w.hook.EventHandled()
 		w.hook.ScheduleAndSync(time.Now().UnixNano())
 	}
 }
 
-func (w *pworker) serve(conn net.Conn, buf []byte) {
+func (w *pworker) serve(tc tracedConn, buf []byte) {
+	conn := tc.c
 	defer conn.Close()
 	pending := 0
 	for {
@@ -201,6 +275,7 @@ func (w *pworker) serve(conn net.Conn, buf []byte) {
 		if err != nil {
 			return
 		}
+		arrivalNS := time.Now().UnixNano()
 		pending += n
 		for {
 			req, consumed, perr := httpx.ParseRequest(buf[:pending])
@@ -224,6 +299,7 @@ func (w *pworker) serve(conn net.Conn, buf []byte) {
 			w.Handled.Add(1)
 			w.handled.Inc()
 			w.p.latencyNS.Observe(time.Since(start).Nanoseconds())
+			w.tr.Serve(tc.id, arrivalNS, start.UnixNano(), time.Now().UnixNano(), false)
 			if _, err := conn.Write(resp.Append(nil)); err != nil {
 				return
 			}
@@ -280,7 +356,7 @@ func (w *pworker) reply(conn net.Conn, resp *httpx.Response) {
 
 // runDemo spins up two trivial backends, the proxy, and a client fleet, with
 // one worker poisoned halfway through to show the bitmap steering around it.
-func runDemo(workers, requests int, statsEvery time.Duration) {
+func runDemo(workers, requests int, statsEvery time.Duration, tracer *tracing.Tracer, tracePath string) {
 	backendAddrs := make([]string, 2)
 	for i := range backendAddrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -309,7 +385,7 @@ func runDemo(workers, requests int, statsEvery time.Duration) {
 		}()
 	}
 
-	p, err := newProxy("127.0.0.1:0", backendAddrs, workers)
+	p, err := newProxy("127.0.0.1:0", backendAddrs, workers, tracer)
 	if err != nil {
 		panic(err)
 	}
@@ -361,6 +437,17 @@ func runDemo(workers, requests int, statsEvery time.Duration) {
 	}
 	st := p.ctl.Stats()
 	fmt.Printf("scheduler passes: %d, avg workers selected: %.1f\n", st.ScheduleCalls, st.AvgPassed)
+	if statsEvery > 0 {
+		// Final snapshot: the periodic reporter would drop the tail of the
+		// run (everything since its last tick).
+		p.printStats()
+	}
+	if tracer != nil {
+		if err := writeTrace(tracePath, tracer); err != nil {
+			panic(err)
+		}
+		fmt.Printf("span dump written to %s\n", tracePath)
+	}
 }
 
 func demoRequest(addr string, i int) error {

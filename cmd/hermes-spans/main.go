@@ -1,0 +1,377 @@
+// Hermes-spans analyses a hermes-bench -spans dump (docs/TRACING.md). It
+// reads either encoding (Chrome trace-event JSON or compact JSONL) and
+// prints where each connection's time went:
+//
+//   - the aggregate wait breakdown — steer (SYN → accept-queue entry),
+//     queue (accept-queue residency), notify (request arrival → service
+//     start) and serve (service itself) — with the steering-path mix;
+//   - the top-K slowest connections by end-to-end request latency, each
+//     with its full span chain;
+//   - spurious-wakeup attribution per worker (which epoll waiter woke for
+//     nothing, and how long it had been blocked).
+//
+// With -metrics it reconciles the dump against the same run's telemetry:
+// the accept-wait histogram must sum to the accept-queue residencies and
+// the request-latency histogram to the serve latencies. Reconciliation
+// needs a full trace (-span-sample 1, no ring overwrites); a sampled dump
+// fails it by construction.
+//
+//	hermes-bench -exp fig11 -spans dump.json -metrics m.json
+//	hermes-spans -top 5 -metrics m.json dump.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
+)
+
+func main() {
+	var (
+		topK     = flag.Int("top", 10, "slowest connections to detail (0 = none)")
+		metrics  = flag.String("metrics", "", "reconcile against this hermes-bench -metrics dump")
+		exp      = flag.String("exp", "", "experiment key inside -metrics (default: sole experiment)")
+		cell     = flag.String("cell", "", "cell key inside -metrics (default: the dump's cell)")
+		connID   = flag.Uint64("conn", 0, "print one connection's span chain and exit")
+		failFlag = 0
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hermes-spans [flags] <dump.json|dump.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err.Error())
+	}
+	spans, meta, err := tracing.ReadSpans(f)
+	f.Close()
+	if err != nil {
+		fatal("not a span dump: " + err.Error())
+	}
+
+	a := analyze(spans)
+
+	if *connID != 0 {
+		c := a.conns[*connID]
+		if c == nil {
+			fatal(fmt.Sprintf("connection %d not in dump", *connID))
+		}
+		printChain(c)
+		return
+	}
+
+	fmt.Printf("cell %q: %d spans, %d/%d connections kept", meta.Cell, len(spans), meta.ConnsKept, meta.ConnsSeen)
+	if meta.SpansDropped > 0 {
+		fmt.Printf(" (%d spans overwritten in the ring)", meta.SpansDropped)
+	}
+	fmt.Println()
+	a.printBreakdown()
+	a.printSpurious()
+	if *topK > 0 {
+		a.printSlowest(*topK)
+	}
+	if *metrics != "" {
+		if !a.reconcile(*metrics, *exp, pick(*cell, meta.Cell)) {
+			failFlag = 1
+		}
+	}
+	os.Exit(failFlag)
+}
+
+func pick(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// conn is one connection's reassembled span chain.
+type conn struct {
+	id    uint64
+	spans []tracing.Span
+
+	via        tracing.Via
+	steerNS    int64 // SYN -> accept-queue entry (0 in the sim's SYN path)
+	queueNS    int64 // accept-queue residency
+	notifyNS   int64 // sum of notify waits (arrival -> service start)
+	serveNS    int64 // sum of service spans
+	requests   int   // serve spans (incl. probes)
+	probes     int
+	latencySum int64 // sum of non-probe end-to-end latencies (serve Arg2)
+	maxLatNS   int64 // slowest single request (incl. probes)
+	hasQueue   bool
+}
+
+type analysis struct {
+	conns map[uint64]*conn
+	order []*conn // sorted by id
+
+	// Per-worker wakeup attribution, indexed by track (KernelTrack never
+	// records wakeups).
+	wakeups  map[int32]int
+	spurious map[int32]int
+	waitNS   map[int32]int64 // blocked time attributed to spurious wakeups
+
+	drops    int
+	overflow int
+}
+
+func analyze(spans []tracing.Span) *analysis {
+	a := &analysis{
+		conns:    make(map[uint64]*conn),
+		wakeups:  make(map[int32]int),
+		spurious: make(map[int32]int),
+		waitNS:   make(map[int32]int64),
+	}
+	get := func(id uint64) *conn {
+		c := a.conns[id]
+		if c == nil {
+			c = &conn{id: id}
+			a.conns[id] = c
+		}
+		return c
+	}
+	var syns = make(map[uint64]int64)
+	for _, s := range spans {
+		switch s.Kind {
+		case tracing.KindWakeup:
+			a.wakeups[s.Worker]++
+			if s.Arg2 != 0 {
+				a.spurious[s.Worker]++
+				a.waitNS[s.Worker] += s.DurNS()
+			}
+		case tracing.KindDrop:
+			a.drops++
+			if s.Arg2 != 0 {
+				a.overflow++
+			}
+		case tracing.KindSchedule, tracing.KindSelmapSync:
+			// Control-plane instants; not part of any connection chain.
+		default:
+			c := get(s.Conn)
+			c.spans = append(c.spans, s)
+			switch s.Kind {
+			case tracing.KindSYN:
+				c.via = tracing.Via(s.Arg)
+				syns[s.Conn] = s.StartNS
+			case tracing.KindAcceptQueue:
+				c.queueNS = s.DurNS()
+				c.hasQueue = true
+				if at, ok := syns[s.Conn]; ok {
+					c.steerNS = s.StartNS - at
+				}
+			case tracing.KindNotifyWait:
+				c.notifyNS += s.DurNS()
+			case tracing.KindServe:
+				c.serveNS += s.DurNS()
+				c.requests++
+				if s.Arg != 0 {
+					c.probes++
+				} else {
+					c.latencySum += s.Arg2
+				}
+				if s.Arg2 > c.maxLatNS {
+					c.maxLatNS = s.Arg2
+				}
+			}
+		}
+	}
+	a.order = make([]*conn, 0, len(a.conns))
+	for _, c := range a.conns {
+		tracing.SortSpans(c.spans)
+		a.order = append(a.order, c)
+	}
+	sort.Slice(a.order, func(i, j int) bool { return a.order[i].id < a.order[j].id })
+	return a
+}
+
+func (a *analysis) printBreakdown() {
+	var steer, queue, notify, serve int64
+	var reqs int
+	vias := make(map[tracing.Via]int)
+	for _, c := range a.order {
+		steer += c.steerNS
+		queue += c.queueNS
+		notify += c.notifyNS
+		serve += c.serveNS
+		reqs += c.requests
+		vias[c.via]++
+	}
+	n := len(a.order)
+	fmt.Println("\nwait breakdown (totals over traced connections):")
+	w := func(name string, tot int64, per int) {
+		if per == 0 {
+			per = 1
+		}
+		fmt.Printf("  %-8s %14s  (mean %s)\n", name, ns(tot), ns(tot/int64(per)))
+	}
+	w("steer", steer, n)
+	w("queue", queue, n)
+	w("notify", notify, reqs)
+	w("serve", serve, reqs)
+	fmt.Printf("  %d connections, %d requests", n, reqs)
+	if a.drops > 0 {
+		fmt.Printf("; %d SYNs dropped (%d on queue overflow)", a.drops, a.overflow)
+	}
+	fmt.Println()
+	keys := make([]tracing.Via, 0, len(vias))
+	for v := range vias {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, 0, len(keys))
+	for _, v := range keys {
+		parts = append(parts, fmt.Sprintf("%s %d", v, vias[v]))
+	}
+	fmt.Printf("  steering: %s\n", strings.Join(parts, ", "))
+}
+
+func (a *analysis) printSpurious() {
+	tracks := make([]int32, 0, len(a.wakeups))
+	for t := range a.wakeups {
+		tracks = append(tracks, t)
+	}
+	if len(tracks) == 0 {
+		return
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	fmt.Println("\nspurious wakeups per worker:")
+	for _, t := range tracks {
+		tot, sp := a.wakeups[t], a.spurious[t]
+		fmt.Printf("  worker %-3d %6d wakeups, %6d spurious (%.1f%%), %s blocked for nothing\n",
+			t, tot, sp, 100*float64(sp)/float64(tot), ns(a.waitNS[t]))
+	}
+}
+
+func (a *analysis) printSlowest(k int) {
+	slow := make([]*conn, len(a.order))
+	copy(slow, a.order)
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].maxLatNS > slow[j].maxLatNS })
+	if k > len(slow) {
+		k = len(slow)
+	}
+	fmt.Printf("\ntop %d slowest connections (by worst request latency):\n", k)
+	for _, c := range slow[:k] {
+		fmt.Printf("- conn %d: worst %s  (steer %s, queue %s, notify %s, serve %s over %d requests, via %s)\n",
+			c.id, ns(c.maxLatNS), ns(c.steerNS), ns(c.queueNS), ns(c.notifyNS), ns(c.serveNS), c.requests, c.via)
+		printChain(c)
+	}
+}
+
+func printChain(c *conn) {
+	for _, s := range c.spans {
+		line := fmt.Sprintf("    %12d  %-12s worker %d", s.StartNS, s.Kind, s.Worker)
+		if !s.Instant() {
+			line += fmt.Sprintf("  +%s", ns(s.DurNS()))
+		}
+		switch s.Kind {
+		case tracing.KindSYN:
+			line += fmt.Sprintf("  via %s -> worker %d", tracing.Via(s.Arg), s.Arg2)
+		case tracing.KindServe:
+			if s.Arg != 0 {
+				line += "  probe"
+			}
+			line += fmt.Sprintf("  latency %s", ns(s.Arg2))
+		case tracing.KindClose:
+			if s.Arg != 0 {
+				line += "  reset"
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
+// reconcile checks the dump's wait totals against the telemetry histograms
+// recorded by the same run: Σ accept-queue residencies must equal the
+// accept-wait histogram's sum, and Σ non-probe serve latencies the
+// request-latency histogram's sum (counts likewise). Returns false on any
+// mismatch.
+func (a *analysis) reconcile(path, exp, cell string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	var dump map[string]map[string][]telemetry.MetricSnapshot
+	if err := json.Unmarshal(data, &dump); err != nil {
+		fatal("not a metrics dump: " + err.Error())
+	}
+	if exp == "" {
+		if len(dump) != 1 {
+			fatal(fmt.Sprintf("metrics dump has %d experiments; pick one with -exp", len(dump)))
+		}
+		for k := range dump {
+			exp = k
+		}
+	}
+	cells, ok := dump[exp]
+	if !ok {
+		fatal(fmt.Sprintf("experiment %q not in metrics dump", exp))
+	}
+	snaps, ok := cells[cell]
+	if !ok {
+		fatal(fmt.Sprintf("cell %q not in metrics dump for %q", cell, exp))
+	}
+	find := func(name string) *telemetry.MetricSnapshot {
+		for i := range snaps {
+			if snaps[i].Name == name {
+				return &snaps[i]
+			}
+		}
+		fatal(fmt.Sprintf("metric %q not in %s/%s", name, exp, cell))
+		return nil
+	}
+
+	var queueSum, latSum int64
+	var queueN, latN uint64
+	for _, c := range a.order {
+		queueSum += c.queueNS
+		if c.hasQueue {
+			queueN++
+		}
+		latSum += c.latencySum
+		latN += uint64(c.requests - c.probes)
+	}
+
+	fmt.Printf("\nreconciliation against %s/%s:\n", exp, cell)
+	ok = true
+	check := func(label string, ms *telemetry.MetricSnapshot, sum int64, count uint64) {
+		good := ms.Sum == sum && ms.Count == count
+		status := "OK"
+		if !good {
+			status, ok = "MISMATCH", false
+		}
+		fmt.Printf("  %-28s spans %s over %d vs histogram %s over %d  [%s]\n",
+			label, ns(sum), count, ns(ms.Sum), ms.Count, status)
+	}
+	check("accept-queue vs accept_wait", find("l7lb.accept_wait_ns"), queueSum, queueN)
+	check("serve latency vs latency", find("l7lb.request_latency_ns"), latSum, latN)
+	if !ok {
+		fmt.Println("  (a sampled or ring-overwritten dump cannot reconcile; record with -span-sample 1)")
+	}
+	return ok
+}
+
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "hermes-spans: "+msg)
+	os.Exit(1)
+}

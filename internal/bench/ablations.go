@@ -84,6 +84,7 @@ func (ablationsExperiment) Cells(opts Options) []Cell {
 				Drain:     opts.Drain / 2,
 				Specs:     specs,
 				Telemetry: opts.Metrics.Sink(v.name),
+				Tracer:    opts.Spans.Tracer(v.name),
 				Mutate:    v.mutate,
 				PostBuild: v.postBuild,
 			})

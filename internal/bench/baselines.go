@@ -38,6 +38,7 @@ func (baselinesExperiment) Cells(opts Options) []Cell {
 				Drain:     opts.Drain,
 				Specs:     []workload.Spec{spec},
 				Telemetry: opts.Metrics.Sink(mode.String()),
+				Tracer:    opts.Spans.Tracer(mode.String()),
 				Mutate:    func(c *l7lb.Config) { c.RegisteredPorts = opts.RegisteredPorts },
 			})
 			if err != nil {

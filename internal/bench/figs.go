@@ -54,6 +54,7 @@ func (fig2Experiment) Cells(opts Options) []Cell {
 				Drain:     100 * time.Millisecond,
 				Specs:     []workload.Spec{spec},
 				Telemetry: opts.Metrics.Sink(mode.String()),
+				Tracer:    opts.Spans.Tracer(mode.String()),
 			})
 			if err != nil {
 				panic(err)

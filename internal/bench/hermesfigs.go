@@ -33,6 +33,7 @@ func measureDelayedRate(opts Options, mode l7lb.Mode) float64 {
 	cfg.Ports = tenantPorts(1)
 	cfg.RegisteredPorts = opts.RegisteredPorts
 	cfg.Telemetry = opts.Metrics.Sink(mode.String())
+	cfg.Tracer = opts.Spans.Tracer(mode.String())
 	lb, err := l7lb.New(eng, cfg)
 	if err != nil {
 		panic(err)
@@ -198,6 +199,7 @@ func (fig13Experiment) Cells(opts Options) []Cell {
 			cfg.Ports = ports
 			cfg.RegisteredPorts = opts.RegisteredPorts
 			cfg.Telemetry = opts.Metrics.Sink(mode.String())
+			cfg.Tracer = opts.Spans.Tracer(mode.String())
 			lb, err := l7lb.New(eng, cfg)
 			if err != nil {
 				panic(err)
@@ -291,6 +293,7 @@ func (fig14Experiment) Cells(opts Options) []Cell {
 				Drain:     opts.Drain / 2,
 				Specs:     specs,
 				Telemetry: opts.Metrics.Sink(name),
+				Tracer:    opts.Spans.Tracer(name),
 			})
 			if err != nil {
 				panic(err)
@@ -350,6 +353,7 @@ func (fig15Experiment) Cells(opts Options) []Cell {
 				Drain:     opts.Drain / 2,
 				Specs:     specs,
 				Telemetry: opts.Metrics.Sink(name),
+				Tracer:    opts.Spans.Tracer(name),
 				Mutate: func(c *l7lb.Config) {
 					c.Hermes.ThetaFrac = theta
 				},

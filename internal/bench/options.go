@@ -35,6 +35,10 @@ type Options struct {
 	// cell (hermes-bench -metrics). Nil disables recording; rendered
 	// experiment output is byte-identical either way.
 	Metrics *MetricsCollector
+	// Spans, when set, arms the per-connection flight recorder for its
+	// designated cell (hermes-bench -spans). Nil disables recording;
+	// rendered experiment output is byte-identical either way.
+	Spans *SpanRecorder
 }
 
 // DefaultOptions returns the standard experiment shape.

@@ -17,6 +17,7 @@ import (
 	"hermes/internal/sim"
 	"hermes/internal/stats"
 	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
 	"hermes/internal/workload"
 )
 
@@ -44,6 +45,10 @@ type RunConfig struct {
 	// the cross-layer metric catalog records into it. Nil disables
 	// recording.
 	Telemetry telemetry.Sink
+	// Tracer, when set, is handed to the LB (l7lb.Config.Tracer): the
+	// per-connection flight recorder records into it. Nil disables
+	// recording. The caller flushes/exports after the run.
+	Tracer *tracing.Tracer
 	// Mutate optionally adjusts the LB config before construction.
 	Mutate func(*l7lb.Config)
 	// PostBuild optionally adjusts the built LB before traffic starts
@@ -94,6 +99,7 @@ func Run(rc RunConfig) (*RunResult, error) {
 	cfg.Ports = ports
 	cfg.DetailedStats = rc.Detailed
 	cfg.Telemetry = rc.Telemetry
+	cfg.Tracer = rc.Tracer
 	if rc.Mutate != nil {
 		rc.Mutate(&cfg)
 	}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"hermes/internal/tracing"
+)
+
+// SpanRecorder arms the flight recorder (docs/TRACING.md) for exactly one
+// designated experiment cell. Every cell asks for its tracer through
+// Options.Spans; only the designated cell gets a non-nil one, so recording
+// stays single-cell and dumps are deterministic at any -parallel setting
+// (the designated cell runs entirely inside one goroutine). A nil recorder
+// hands out nil tracers, which disables recording end to end.
+type SpanRecorder struct {
+	cell string
+	cfg  tracing.Config
+
+	mu sync.Mutex
+	tr *tracing.Tracer
+}
+
+// NewSpanRecorder designates a cell; its tracer uses cfg.
+func NewSpanRecorder(cell string, cfg tracing.Config) *SpanRecorder {
+	return &SpanRecorder{cell: cell, cfg: cfg}
+}
+
+// Cell returns the designated cell name.
+func (sr *SpanRecorder) Cell() string {
+	if sr == nil {
+		return ""
+	}
+	return sr.cell
+}
+
+// Tracer returns the flight recorder for the named cell: non-nil only for
+// the designated cell (created on first use), nil — recording disabled —
+// for every other cell and on a nil receiver.
+func (sr *SpanRecorder) Tracer(cell string) *tracing.Tracer {
+	if sr == nil || cell != sr.cell {
+		return nil
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.tr == nil {
+		sr.tr = tracing.New(sr.cfg)
+	}
+	return sr.tr
+}
+
+// Recorded reports whether the designated cell actually ran (asked for its
+// tracer).
+func (sr *SpanRecorder) Recorded() bool {
+	if sr == nil {
+		return false
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.tr != nil
+}
+
+// WriteTo flushes still-open connections and writes the span dump: Chrome
+// trace-event JSON (Perfetto-loadable) or compact JSONL. Call after the
+// experiment has fully run.
+func (sr *SpanRecorder) WriteTo(w io.Writer, jsonl bool) error {
+	if sr == nil || sr.tr == nil {
+		return fmt.Errorf("bench: no spans recorded for cell %q", sr.Cell())
+	}
+	sr.tr.Flush()
+	spans := sr.tr.Spans()
+	meta := tracing.MetaFor(sr.cell, sr.tr.Stats())
+	if jsonl {
+		return tracing.WriteJSONL(w, spans, meta)
+	}
+	return tracing.WriteChrome(w, spans, meta)
+}

@@ -69,6 +69,7 @@ func (table3Experiment) Cells(opts Options) []Cell {
 						Drain:     opts.Drain,
 						Specs:     []workload.Spec{spec},
 						Telemetry: opts.Metrics.Sink(name),
+						Tracer:    opts.Spans.Tracer(name),
 						Mutate: func(c *l7lb.Config) {
 							c.RegisteredPorts = opts.RegisteredPorts
 						},

@@ -117,6 +117,7 @@ func (table2Experiment) Cells(opts Options) []Cell {
 				Drain:     opts.Drain / 2,
 				Specs:     specs,
 				Telemetry: opts.Metrics.Sink(name),
+				Tracer:    opts.Spans.Tracer(name),
 				Mutate:    func(c *l7lb.Config) { c.RegisteredPorts = opts.RegisteredPorts },
 			})
 			if err != nil {

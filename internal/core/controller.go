@@ -7,6 +7,7 @@ import (
 	"hermes/internal/ebpf"
 	"hermes/internal/kernel"
 	"hermes/internal/shm"
+	"hermes/internal/tracing"
 )
 
 // Controller owns one worker group's Hermes state: the shared Worker Status
@@ -29,6 +30,7 @@ type Controller struct {
 	emptySets     atomic.Uint64
 
 	tel Instruments
+	tr  *tracing.ScheduleTrace
 }
 
 // NewController creates Hermes state for n workers (1..64).
@@ -139,6 +141,10 @@ func (c *Controller) AttachNative(g *kernel.ReuseportGroup) error {
 // Instrument wires telemetry for Algorithm 1 decisions (implements Instance).
 func (c *Controller) Instrument(ins Instruments) { c.tel = ins }
 
+// InstrumentTrace wires the flight recorder into schedule_and_sync passes
+// (implements Instance).
+func (c *Controller) InstrumentTrace(tr *tracing.ScheduleTrace) { c.tr = tr }
+
 // Hook returns worker id's hook as the deployment-independent interface
 // (implements Instance).
 func (c *Controller) Hook(id int) Hook { return c.NewWorkerHook(id) }
@@ -148,6 +154,7 @@ func (c *Controller) Hook(id int) Hook { return c.NewWorkerHook(id) }
 func (c *Controller) NewWorkerHook(id int) *WorkerHook {
 	return &WorkerHook{
 		c:   c,
+		id:  id,
 		w:   c.wst.Writer(id),
 		buf: make([]shm.Metrics, 0, c.Workers()),
 	}
@@ -219,6 +226,7 @@ func (c *Controller) Stats() Stats {
 // (matching per-process ownership of WST partitions).
 type WorkerHook struct {
 	c   *Controller
+	id  int
 	w   shm.Writer
 	buf []shm.Metrics
 }
@@ -250,6 +258,7 @@ func (h *WorkerHook) ConnClosed() { h.w.AddConn(-1) }
 func (h *WorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
 	res, buf := h.c.scheduleAndSync(nowNS, h.buf)
 	h.buf = buf
+	h.c.tr.Pass(h.id, nowNS, res.Passed, res.Total)
 	return res
 }
 

@@ -6,6 +6,7 @@ import (
 	"hermes/internal/ebpf"
 	"hermes/internal/kernel"
 	"hermes/internal/shm"
+	"hermes/internal/tracing"
 )
 
 // GroupedController is the two-level Hermes deployment (§7): workers are
@@ -24,6 +25,7 @@ type GroupedController struct {
 	wst   *shm.Grouped
 	sels  []*ebpf.ArrayMap
 	tel   Instruments
+	tr    *tracing.ScheduleTrace
 }
 
 // NewGroupedController creates Hermes state for n workers split into
@@ -135,6 +137,10 @@ func (g *GroupedController) AttachNative(rg *kernel.ReuseportGroup) error {
 // Instrument wires telemetry for Algorithm 1 decisions (implements Instance).
 func (g *GroupedController) Instrument(ins Instruments) { g.tel = ins }
 
+// InstrumentTrace wires the flight recorder into schedule_and_sync passes
+// (implements Instance).
+func (g *GroupedController) InstrumentTrace(tr *tracing.ScheduleTrace) { g.tr = tr }
+
 // Hook returns global worker id's hook as the deployment-independent
 // interface (implements Instance).
 func (g *GroupedController) Hook(id int) Hook { return g.NewWorkerHook(id) }
@@ -146,6 +152,7 @@ func (g *GroupedController) NewWorkerHook(id int) *GroupedWorkerHook {
 	gi, slot := g.wst.Locate(id)
 	return &GroupedWorkerHook{
 		gc:    g,
+		id:    id,
 		group: gi,
 		slot:  slot,
 		w:     g.wst.Group(gi).Writer(slot),
@@ -156,6 +163,7 @@ func (g *GroupedController) NewWorkerHook(id int) *GroupedWorkerHook {
 // GroupedWorkerHook is WorkerHook's two-level counterpart.
 type GroupedWorkerHook struct {
 	gc    *GroupedController
+	id    int // global worker id (the trace track)
 	group int
 	slot  int
 	w     shm.Writer
@@ -197,6 +205,7 @@ func (h *GroupedWorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
 	if err := h.gc.sels[h.group].Update(0, uint64(res.Bitmap)); err == nil {
 		h.gc.tel.Syncs.Inc()
 	}
+	h.gc.tr.Pass(h.id, nowNS, res.Passed, res.Total)
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"hermes/internal/kernel"
 	"hermes/internal/shm"
 	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
 )
 
 // Hook is the per-worker instrumentation surface — the few lines Hermes adds
@@ -33,6 +34,7 @@ type Instance interface {
 	AttachNative(g *kernel.ReuseportGroup) error
 	SetFilterOrder(o FilterOrder)
 	Instrument(ins Instruments)
+	InstrumentTrace(tr *tracing.ScheduleTrace)
 }
 
 // Instruments are the telemetry handles for Algorithm 1 decisions. Nil

@@ -2,9 +2,11 @@ package ebpf
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
 )
 
 // MapType identifies the simulated map kinds Hermes uses.
@@ -50,6 +52,7 @@ type ArrayMap struct {
 
 	telUpdates *telemetry.Counter
 	telLookups *telemetry.Counter
+	tr         *tracing.MapTrace
 }
 
 // Instrument wires telemetry counters for userspace map operations: updates
@@ -59,6 +62,11 @@ func (m *ArrayMap) Instrument(updates, lookups *telemetry.Counter) {
 	m.telUpdates = updates
 	m.telLookups = lookups
 }
+
+// InstrumentTrace wires the flight recorder into userspace updates: each
+// Update emits a selmap_sync instant annotated with the written bitmap's
+// popcount. The map has no clock of its own — the handle carries one.
+func (m *ArrayMap) InstrumentTrace(tr *tracing.MapTrace) { m.tr = tr }
 
 // NewArrayMap creates an array map with maxEntries zeroed elements.
 func NewArrayMap(maxEntries int) *ArrayMap {
@@ -91,6 +99,7 @@ func (m *ArrayMap) Update(key uint32, val uint64) error {
 	atomic.StoreUint64(&m.vals[key], val)
 	m.SyscallCount.Add(1)
 	m.telUpdates.Inc()
+	m.tr.Sync(bits.OnesCount64(val))
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hermes/internal/sim"
+	"hermes/internal/tracing"
 )
 
 // EventKind classifies an epoll event for the application.
@@ -88,6 +89,7 @@ type Epoll struct {
 	LastBlockStartNS int64  // when the current/last block began
 
 	tel EpollInstruments
+	tr  *tracing.WorkerTrace
 }
 
 // Add registers a socket with this epoll instance (EPOLL_CTL_ADD) in
@@ -226,6 +228,7 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 			ep.tel.Wakeups.Inc()
 			ep.tel.Timeouts.Inc()
 			ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
+			ep.tr.Wakeup(ep.LastBlockStartNS, ep.ns.eng.Now(), 0, true)
 			fn(nil)
 		})
 	}
@@ -258,6 +261,7 @@ func (ep *Epoll) wake() {
 		ep.tel.Wakeups.Inc()
 		ep.tel.Events.Add(uint64(len(evs)))
 		ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
+		ep.tr.Wakeup(ep.LastBlockStartNS, ep.ns.eng.Now(), len(evs), false)
 		if len(evs) == 0 {
 			ep.SpuriousWakeups++
 			ep.tel.Spurious.Inc()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hermes/internal/sim"
+	"hermes/internal/tracing"
 )
 
 // WakeMode selects the wait-queue wakeup discipline for shared listening
@@ -66,6 +67,7 @@ type NetStack struct {
 	ConnsEstablished uint64
 
 	tel WakeInstruments
+	tr  *tracing.KernelTrace
 }
 
 // DefaultAcceptBacklog is the accept-queue capacity used when callers pass
@@ -158,12 +160,16 @@ func (ns *NetStack) NewEpoll() *Epoll {
 // Returns ok=false if there is no listener or the accept queue overflowed.
 func (ns *NetStack) DeliverSYN(tuple FourTuple, meta any) (*Conn, bool) {
 	var target *Socket
+	via := tracing.ViaShared
+	worker := tracing.KernelTrack
 	if g, ok := ns.groups[tuple.DstPort]; ok {
-		target = g.selectSocket(tuple.Hash(), tuple.LocalityHash())
+		target, via = g.selectSocket(tuple.Hash(), tuple.LocalityHash())
+		worker = int32(target.groupIdx)
 	} else if s, ok := ns.shared[tuple.DstPort]; ok {
 		target = s
 	} else {
 		ns.SynDrops++
+		ns.tr.ConnDropped(ns.eng.Now(), tracing.ViaShared, false)
 		return nil, false
 	}
 
@@ -182,9 +188,11 @@ func (ns *NetStack) DeliverSYN(tuple FourTuple, meta any) (*Conn, bool) {
 
 	if !target.enqueueConn(c) {
 		ns.SynDrops++
+		ns.tr.ConnDropped(ns.eng.Now(), via, true)
 		return nil, false
 	}
 	ns.ConnsEstablished++
+	ns.tr.ConnEstablished(uint64(c.ID), c.EstablishedNS, worker, via)
 	return c, true
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"hermes/internal/bitops"
 	"hermes/internal/ebpf"
+	"hermes/internal/tracing"
 )
 
 // ReuseportGroup models a set of SO_REUSEPORT sockets bound to one port.
@@ -64,15 +65,16 @@ func (g *ReuseportGroup) hashPick(hash uint32) *Socket {
 	return g.socks[bitops.ReciprocalScale(hash, uint32(len(g.socks)))]
 }
 
-// selectSocket runs the dispatch decision for one incoming connection.
-func (g *ReuseportGroup) selectSocket(hash, localityHash uint32) *Socket {
-	s := g.pick(hash, localityHash)
+// selectSocket runs the dispatch decision for one incoming connection,
+// returning the steering path taken (the trace annotation of KindSYN).
+func (g *ReuseportGroup) selectSocket(hash, localityHash uint32) (*Socket, tracing.Via) {
+	s, via := g.pick(hash, localityHash)
 	g.tel.Steered.At(s.groupIdx).Inc()
-	return s
+	return s, via
 }
 
 // pick chooses the member socket and maintains the outcome counters.
-func (g *ReuseportGroup) pick(hash, localityHash uint32) *Socket {
+func (g *ReuseportGroup) pick(hash, localityHash uint32) (*Socket, tracing.Via) {
 	switch {
 	case g.prog != nil:
 		ctx := ebpf.ReuseportCtx{Hash: hash, LocalityHash: localityHash}
@@ -80,31 +82,31 @@ func (g *ReuseportGroup) pick(hash, localityHash uint32) *Socket {
 		if err != nil {
 			g.ProgErrors++
 			g.tel.ProgErrors.Inc()
-			return g.hashPick(hash)
+			return g.hashPick(hash), tracing.ViaProgError
 		}
 		if r0 == 0 && ctx.Selected != nil {
 			if s, ok := ctx.Selected.(*Socket); ok && s.group == g && !s.closed {
 				g.ProgDispatched++
 				g.tel.ProgHits.Inc()
-				return s
+				return s, tracing.ViaProg
 			}
 		}
 		g.Fallbacks++
 		g.tel.Fallbacks.Inc()
-		return g.hashPick(hash)
+		return g.hashPick(hash), tracing.ViaFallback
 	case g.selectFn != nil:
 		if s, ok := g.selectFn(hash, localityHash); ok && s != nil && s.group == g && !s.closed {
 			g.ProgDispatched++
 			g.tel.ProgHits.Inc()
-			return s
+			return s, tracing.ViaProg
 		}
 		g.Fallbacks++
 		g.tel.Fallbacks.Inc()
-		return g.hashPick(hash)
+		return g.hashPick(hash), tracing.ViaFallback
 	default:
 		g.HashDispatched++
 		g.tel.HashPicks.Inc()
-		return g.hashPick(hash)
+		return g.hashPick(hash), tracing.ViaHash
 	}
 }
 

@@ -1,0 +1,20 @@
+package kernel
+
+import "hermes/internal/tracing"
+
+// This file is the kernel layer's flight-recorder seam, the tracing twin of
+// telemetry.go: each object takes a typed handle via InstrumentTrace(...);
+// nil handles record nothing, so an untraced run costs one nil check per
+// hook site. Handles are wired by the deployment layer (l7lb/tracing.go)
+// alongside the telemetry bundles.
+
+// InstrumentTrace wires connection-lifecycle tracing into the stack: SYN
+// establishment (with the steering decision) and drop instants on the
+// kernel track.
+func (ns *NetStack) InstrumentTrace(tr *tracing.KernelTrace) { ns.tr = tr }
+
+// InstrumentTrace wires wakeup tracing into this epoll instance. In the LB
+// deployments an instance is owned by exactly one worker, so the handle is
+// that worker's track; wakeups that unblock a wait — including spurious
+// ones — land there, attributing herd waste to the waiter it woke.
+func (ep *Epoll) InstrumentTrace(tr *tracing.WorkerTrace) { ep.tr = tr }

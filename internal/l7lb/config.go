@@ -17,6 +17,7 @@ import (
 
 	"hermes/internal/core"
 	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
 )
 
 // Mode selects the connection dispatch mechanism.
@@ -196,6 +197,12 @@ type Config struct {
 	// build time. Nil disables all recording: the layers then hold nil
 	// instrument handles whose methods no-op.
 	Telemetry telemetry.Sink
+	// Tracer, when set, wires the per-connection flight recorder
+	// (docs/TRACING.md) into the same layers at build time: SYN steering,
+	// accept-queue residency, epoll wakeups, per-request service, closes.
+	// Nil disables recording — the layers then hold nil trace handles whose
+	// methods no-op, and output is byte-identical to an untraced run.
+	Tracer *tracing.Tracer
 }
 
 // DefaultConfig returns a 32-core single-tenant LB in the given mode, the

@@ -19,6 +19,10 @@ type dispatcher struct {
 
 func newDispatcher(lb *LB) *dispatcher {
 	d := &dispatcher{lb: lb, w: newWorker(lb, -1, NopHook{})}
+	// The dispatcher core traces on the track one past the executors (the
+	// kernel track is reserved for the netstack).
+	d.w.tr = lb.Cfg.Tracer.WorkerTrace(lb.Cfg.Workers)
+	d.w.ep.InstrumentTrace(d.w.tr)
 	for _, s := range lb.shared {
 		d.w.ep.Add(s)
 	}
@@ -66,6 +70,7 @@ func (d *dispatcher) handle(ev kernel.Event) time.Duration {
 			return costs.SpuriousWake
 		}
 		d.w.Accepted++
+		d.w.tr.Accept(uint64(conn.ID), conn.EstablishedNS, conn.AcceptedNS)
 		d.w.addConn(conn.Sock())
 		return costs.Accept + costs.Dispatch
 	case kernel.EvReadable:
@@ -78,6 +83,10 @@ func (d *dispatcher) handle(ev kernel.Event) time.Duration {
 		ex := d.leastLoaded()
 		ex.pushJob(work.Cost, func() {
 			ex.Completed++
+			// The job ran contiguously for work.Cost ending now, so the
+			// serve span's start is recoverable without threading it through.
+			end := d.lb.Eng.Now()
+			ex.tr.Serve(uint64(sock.Conn().ID), work.ArrivalNS, end-int64(work.Cost), end, work.Probe)
 			d.lb.recordCompletion(ex, sock.Conn(), work)
 			if work.Close {
 				d.w.closeConn(sock)

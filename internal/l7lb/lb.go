@@ -135,6 +135,7 @@ func New(eng *sim.Engine, cfg Config) (*LB, error) {
 		lb.mutex = &acceptMutex{}
 	}
 	wireTelemetry(lb)
+	wireTracing(lb)
 
 	for i := 0; i < cfg.Workers; i++ {
 		var hook Hook = NopHook{}

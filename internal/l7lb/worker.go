@@ -6,6 +6,7 @@ import (
 	"hermes/internal/kernel"
 	"hermes/internal/stats"
 	"hermes/internal/telemetry"
+	"hermes/internal/tracing"
 )
 
 // Worker is one LB worker process pinned to one CPU core, running the
@@ -62,6 +63,9 @@ type Worker struct {
 	telServed   *telemetry.Counter
 	telAccepted *telemetry.Counter
 	telOpen     *telemetry.Timeline
+	// tr is this worker's flight-recorder track (nil = disabled, see
+	// Config.Tracer).
+	tr *tracing.WorkerTrace
 }
 
 type execJob struct {
@@ -100,6 +104,11 @@ func newWorker(lb *LB, id int, hook Hook) *Worker {
 		Events:    lb.tel.epEvents.At(id),
 		Residency: lb.tel.epWaitNS,
 	})
+	if id >= 0 {
+		// The dispatcher core (id -1) gets its own track in newDispatcher.
+		w.tr = lb.Cfg.Tracer.WorkerTrace(id)
+		w.ep.InstrumentTrace(w.tr)
+	}
 	return w
 }
 
@@ -286,12 +295,14 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 		w.Accepted++
 		w.telAccepted.Inc()
 		w.lb.tel.acceptWait.Observe(conn.AcceptedNS - conn.EstablishedNS)
+		w.tr.Accept(uint64(conn.ID), conn.EstablishedNS, conn.AcceptedNS)
 		if max := w.lb.Cfg.MaxConnsPerWorker; max > 0 && len(w.conns) >= max {
 			// Connection pool exhausted: reset (§5.1.1).
 			w.ResetConns++
 			w.lb.ConnsReset++
 			sock := conn.Sock()
 			w.lb.NS.CloseSocket(sock)
+			w.tr.Close(uint64(conn.ID), w.lb.Eng.Now(), true)
 			w.lb.notifyReset(conn)
 			return costs.Close, nil
 		}
@@ -308,6 +319,7 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 		}
 		work := payload.(Work)
 		sock := ev.Sock
+		serveStart := w.lb.Eng.Now()
 		cost := work.Cost
 		var backendID int
 		forwarded := false
@@ -327,6 +339,7 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 			}
 			w.Completed++
 			w.telServed.Inc()
+			w.tr.Serve(uint64(sock.Conn().ID), work.ArrivalNS, serveStart, w.lb.Eng.Now(), work.Probe)
 			w.lb.recordCompletion(w, sock.Conn(), work)
 			if work.Close {
 				w.closeConn(sock)
@@ -400,6 +413,9 @@ func (w *Worker) closeConn(s *kernel.Socket) {
 	w.removeConn(s)
 	w.hook.ConnClosed()
 	w.lb.NS.CloseSocket(s)
+	if c := s.Conn(); c != nil {
+		w.tr.Close(uint64(c.ID), w.lb.Eng.Now(), false)
+	}
 }
 
 // resetConn force-closes a connection (RST): pool exhaustion, shedding, or
@@ -412,6 +428,9 @@ func (w *Worker) resetConn(s *kernel.Socket) {
 	w.removeConn(s)
 	w.hook.ConnClosed()
 	w.lb.NS.CloseSocket(s)
+	if conn != nil {
+		w.tr.Close(uint64(conn.ID), w.lb.Eng.Now(), true)
+	}
 	w.lb.notifyReset(conn)
 }
 

@@ -159,6 +159,7 @@ func (r *Registry) Snapshot() Snapshot {
 				}
 				ms.Buckets[i] = b
 			}
+			ms.Quantiles = histQuantiles(&ms)
 		case KindCounterVec:
 			ms.Values = make([]int64, e.cv.Len())
 			for i := range ms.Values {

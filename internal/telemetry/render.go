@@ -33,6 +33,10 @@ type MetricSnapshot struct {
 	Count   uint64   `json:"count,omitempty"`
 	Sum     int64    `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Quantiles carries interpolated histogram quantiles (p50/p99) for
+	// JSON consumers. Entries are null — not 0 — when the histogram never
+	// recorded, so an empty histogram can't be mistaken for a fast one.
+	Quantiles map[string]*float64 `json:"quantiles,omitempty"`
 	// Timelines carries per-slot ring-buffer samples, oldest first.
 	Timelines [][]Sample `json:"timelines,omitempty"`
 }
@@ -81,6 +85,17 @@ func (s Snapshot) Get(name string) *MetricSnapshot {
 		}
 	}
 	return nil
+}
+
+// histQuantiles builds a histogram snapshot's exported quantile set: real
+// values when it recorded, null entries when it is empty.
+func histQuantiles(ms *MetricSnapshot) map[string]*float64 {
+	q := map[string]*float64{"p50": nil, "p99": nil}
+	if ms.Count > 0 {
+		p50, p99 := ms.Quantile(0.50), ms.Quantile(0.99)
+		q["p50"], q["p99"] = &p50, &p99
+	}
+	return q
 }
 
 // WriteJSON renders the snapshot as indented JSON.

@@ -247,6 +247,51 @@ func TestSnapshotQuantile(t *testing.T) {
 	}
 }
 
+// An empty histogram's exported quantiles must be JSON null, not 0: a
+// consumer reading p99=0 would mistake "never recorded" for "instant".
+func TestSnapshotEmptyHistogramQuantilesNull(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(Metric{Name: "never", Unit: "ns"}, []int64{10, 20}) // registered, no observations
+	r.Histogram(Metric{Name: "once", Unit: "ns"}, []int64{10, 20}).Observe(5)
+	snap := r.Snapshot()
+
+	for _, want := range []struct {
+		name string
+		null bool
+	}{{"never", true}, {"once", false}} {
+		ms := snap.Get(want.name)
+		if ms == nil || len(ms.Quantiles) != 2 {
+			t.Fatalf("%s: quantiles = %v, want p50+p99", want.name, ms)
+		}
+		for _, q := range []string{"p50", "p99"} {
+			v, ok := ms.Quantiles[q]
+			if !ok {
+				t.Fatalf("%s: missing %s", want.name, q)
+			}
+			if want.null != (v == nil) {
+				t.Errorf("%s: %s = %v, want null=%v", want.name, q, v, want.null)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"p50": null`) || !strings.Contains(out, `"p99": null`) {
+		t.Errorf("WriteJSON of empty histogram lacks null quantiles:\n%s", out)
+	}
+	// The recorded histogram's quantiles must come through as numbers.
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if v := round.Get("once").Quantiles["p50"]; v == nil || *v <= 0 {
+		t.Errorf("recorded histogram p50 did not round-trip: %v", v)
+	}
+}
+
 // Snapshots taken while writers hammer every instrument kind must be
 // race-free (run with -race) and, once the writers finish, exact.
 func TestRegistryConcurrentWriters(t *testing.T) {

@@ -1,0 +1,412 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+)
+
+// Config sizes and scopes a Tracer.
+type Config struct {
+	// SampleEvery enables head-based sampling: connection k is recorded iff
+	// k ≡ 0 (mod SampleEvery). Values ≤ 1 record every connection.
+	SampleEvery int
+	// TailLatencyNS enables tail capture: a connection that head sampling
+	// skipped is still kept if any of its requests' end-to-end latency
+	// reaches the threshold. 0 disables tail capture (skipped connections
+	// are then not buffered at all).
+	TailLatencyNS int64
+	// MaxSpans bounds committed-span storage. When the ring fills, the
+	// oldest spans are overwritten and SpansDropped counts the loss.
+	// 0 means DefaultMaxSpans.
+	MaxSpans int
+	// Concurrent guards recording with a mutex, for real-goroutine
+	// deployments (cmd/hermes-lb). Simulations are single-goroutine per
+	// engine and leave it off.
+	Concurrent bool
+}
+
+// DefaultMaxSpans is the default ring capacity (~48 MB of spans).
+const DefaultMaxSpans = 1 << 20
+
+// DefaultConfig records every connection with the default ring bound.
+func DefaultConfig() Config {
+	return Config{SampleEvery: 1, MaxSpans: DefaultMaxSpans}
+}
+
+// connBuf accumulates one in-flight connection's spans until the keep/drop
+// decision at close (or Flush).
+type connBuf struct {
+	id       uint64
+	spans    []Span
+	sampled  bool  // head-sampled: keep unconditionally
+	maxLatNS int64 // worst request latency seen (tail capture)
+}
+
+// Stats summarizes a tracer's bookkeeping.
+type Stats struct {
+	// ConnsSeen counts established connections observed.
+	ConnsSeen uint64
+	// ConnsKept counts connections committed to the ring.
+	ConnsKept uint64
+	// SpansCommitted counts spans ever committed (including overwritten).
+	SpansCommitted uint64
+	// SpansDropped counts ring overwrites (flight-recorder loss).
+	SpansDropped uint64
+}
+
+// Tracer is the flight recorder. Obtain per-layer handles via KernelTrace,
+// WorkerTrace, ScheduleTrace, and MapTrace — all valid on a nil *Tracer
+// (they return nil handles, which no-op). A Tracer is single-goroutine
+// unless Config.Concurrent is set.
+type Tracer struct {
+	cfg Config
+	mu  *sync.Mutex // non-nil iff Config.Concurrent
+
+	ring []Span // circular committed-span store
+	n    uint64 // total spans committed; next slot = n % cap
+
+	conns map[uint64]*connBuf
+	free  []*connBuf
+	stats Stats
+}
+
+// New creates a tracer.
+func New(cfg Config) *Tracer {
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = DefaultMaxSpans
+	}
+	t := &Tracer{
+		cfg:   cfg,
+		ring:  make([]Span, 0, cfg.MaxSpans),
+		conns: make(map[uint64]*connBuf),
+	}
+	if cfg.Concurrent {
+		t.mu = &sync.Mutex{}
+	}
+	return t
+}
+
+func (t *Tracer) lock() {
+	if t.mu != nil {
+		t.mu.Lock()
+	}
+}
+
+func (t *Tracer) unlock() {
+	if t.mu != nil {
+		t.mu.Unlock()
+	}
+}
+
+// commit appends one span to the ring, overwriting the oldest when full.
+func (t *Tracer) commit(s Span) {
+	t.stats.SpansCommitted++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		t.n++
+		return
+	}
+	t.ring[t.n%uint64(cap(t.ring))] = s
+	t.n++
+	t.stats.SpansDropped++
+}
+
+// establish begins tracking a connection (or doesn't, per sampling).
+func (t *Tracer) establish(conn uint64, nowNS int64, worker int32, via Via) {
+	t.lock()
+	defer t.unlock()
+	t.stats.ConnsSeen++
+	sampled := t.cfg.SampleEvery <= 1 || (t.stats.ConnsSeen-1)%uint64(t.cfg.SampleEvery) == 0
+	if !sampled && t.cfg.TailLatencyNS == 0 {
+		return // not buffered: tail capture off, head sampling skipped it
+	}
+	var b *connBuf
+	if n := len(t.free); n > 0 {
+		b = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		b = &connBuf{spans: make([]Span, 0, 16)}
+	}
+	b.id, b.sampled, b.maxLatNS = conn, sampled, 0
+	b.spans = append(b.spans, Span{
+		Conn: conn, Worker: KernelTrack, Kind: KindSYN,
+		StartNS: nowNS, EndNS: nowNS, Arg: int64(via), Arg2: int64(worker),
+	})
+	t.conns[conn] = b
+}
+
+// connSpan appends a span to an in-flight connection's buffer (no-op for
+// untracked connections).
+func (t *Tracer) connSpan(s Span) {
+	t.lock()
+	defer t.unlock()
+	b, ok := t.conns[s.Conn]
+	if !ok {
+		return
+	}
+	b.spans = append(b.spans, s)
+	if s.Kind == KindServe && s.Arg2 > b.maxLatNS {
+		b.maxLatNS = s.Arg2
+	}
+}
+
+// finish resolves a connection's keep/drop decision and recycles its buffer.
+// The caller must hold the lock.
+func (t *Tracer) finish(b *connBuf) {
+	keep := b.sampled || (t.cfg.TailLatencyNS > 0 && b.maxLatNS >= t.cfg.TailLatencyNS)
+	if keep {
+		t.stats.ConnsKept++
+		for _, s := range b.spans {
+			t.commit(s)
+		}
+	}
+	delete(t.conns, b.id)
+	b.spans = b.spans[:0]
+	t.free = append(t.free, b)
+}
+
+// closeConn records the close instant and finalizes the connection.
+func (t *Tracer) closeConn(conn uint64, nowNS int64, reset bool) {
+	t.lock()
+	defer t.unlock()
+	b, ok := t.conns[conn]
+	if !ok {
+		return
+	}
+	var arg int64
+	if reset {
+		arg = 1
+	}
+	b.spans = append(b.spans, Span{
+		Conn: conn, Worker: b.lastWorker(), Kind: KindClose,
+		StartNS: nowNS, EndNS: nowNS, Arg: arg,
+	})
+	t.finish(b)
+}
+
+// lastWorker is the most recent worker a tracked connection touched (the
+// close event's track); kernel track until a worker accepts it.
+func (b *connBuf) lastWorker() int32 {
+	for i := len(b.spans) - 1; i >= 0; i-- {
+		if b.spans[i].Worker != KernelTrack {
+			return b.spans[i].Worker
+		}
+	}
+	return KernelTrack
+}
+
+// Flush finalizes every still-open connection (keep/drop per the same
+// rules, without a close event), in connection-id order so dumps are
+// deterministic. Call once after the simulation drains. Safe on nil.
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	t.lock()
+	defer t.unlock()
+	ids := make([]uint64, 0, len(t.conns))
+	for id := range t.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t.finish(t.conns[id])
+	}
+}
+
+// Stats returns the tracer's bookkeeping counters. Safe on nil.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.lock()
+	defer t.unlock()
+	return t.stats
+}
+
+// Spans returns the committed spans in export order (sorted by the total
+// span order, oldest-surviving first within ties). Safe on nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.lock()
+	defer t.unlock()
+	out := make([]Span, 0, len(t.ring))
+	if t.n > uint64(len(t.ring)) { // ring wrapped: oldest survivor first
+		start := t.n % uint64(cap(t.ring))
+		out = append(out, t.ring[start:]...)
+		out = append(out, t.ring[:start]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// --- Per-layer handles (nil no-op, one nil check per hook) ---
+
+// KernelTrace records connection-lifecycle events from the netstack.
+type KernelTrace struct{ t *Tracer }
+
+// KernelTrace returns the netstack's handle. Safe on nil (returns nil).
+func (t *Tracer) KernelTrace() *KernelTrace {
+	if t == nil {
+		return nil
+	}
+	return &KernelTrace{t: t}
+}
+
+// ConnEstablished records handshake completion: the steering decision (via)
+// and the chosen worker socket (KernelTrack for shared sockets). Begins the
+// connection's flight record, subject to sampling.
+func (k *KernelTrace) ConnEstablished(conn uint64, nowNS int64, worker int32, via Via) {
+	if k == nil {
+		return
+	}
+	k.t.establish(conn, nowNS, worker, via)
+}
+
+// ConnDropped records a refused SYN (overflow=true: accept-queue overflow;
+// false: no listener). Dropped connections have no flight record — the
+// instant goes straight to the ring.
+func (k *KernelTrace) ConnDropped(nowNS int64, via Via, overflow bool) {
+	if k == nil {
+		return
+	}
+	var arg2 int64
+	if overflow {
+		arg2 = 1
+	}
+	k.t.lock()
+	k.t.commit(Span{Worker: KernelTrack, Kind: KindDrop,
+		StartNS: nowNS, EndNS: nowNS, Arg: int64(via), Arg2: arg2})
+	k.t.unlock()
+}
+
+// WorkerTrace records one worker's events: epoll wakeups, accepts, request
+// service, closes. Obtained once per worker at wiring time.
+type WorkerTrace struct {
+	t  *Tracer
+	id int32
+}
+
+// WorkerTrace returns worker id's handle. Safe on nil (returns nil).
+func (t *Tracer) WorkerTrace(id int) *WorkerTrace {
+	if t == nil {
+		return nil
+	}
+	return &WorkerTrace{t: t, id: int32(id)}
+}
+
+// Wakeup records one completed epoll_wait that delivered events or woke
+// spuriously (timeout-only waits are idle time and are skipped). startNS is
+// when the wait began blocking; spurious wakeups (zero events, not a
+// timeout) are attributed to this worker — the waiter the wake discipline
+// chose.
+func (w *WorkerTrace) Wakeup(startNS, endNS int64, events int, timeout bool) {
+	if w == nil {
+		return
+	}
+	if events == 0 && timeout {
+		return
+	}
+	var spurious int64
+	if events == 0 {
+		spurious = 1
+	}
+	w.t.lock()
+	w.t.commit(Span{Worker: w.id, Kind: KindWakeup,
+		StartNS: startNS, EndNS: endNS, Arg: int64(events), Arg2: spurious})
+	w.t.unlock()
+}
+
+// Accept records the worker dequeuing a connection: the accept-queue
+// residency span (establishment → accept) plus the accept instant.
+func (w *WorkerTrace) Accept(conn uint64, establishedNS, nowNS int64) {
+	if w == nil {
+		return
+	}
+	w.t.connSpan(Span{Conn: conn, Worker: w.id, Kind: KindAcceptQueue,
+		StartNS: establishedNS, EndNS: nowNS})
+	w.t.connSpan(Span{Conn: conn, Worker: w.id, Kind: KindAccept,
+		StartNS: nowNS, EndNS: nowNS})
+}
+
+// Serve records one request: the notify-wait span (data arrival → service
+// start) and the service span (start → completion). The request's
+// end-to-end latency (endNS − arrivalNS) feeds tail capture.
+func (w *WorkerTrace) Serve(conn uint64, arrivalNS, startNS, endNS int64, probe bool) {
+	if w == nil {
+		return
+	}
+	var p int64
+	if probe {
+		p = 1
+	}
+	w.t.connSpan(Span{Conn: conn, Worker: w.id, Kind: KindNotifyWait,
+		StartNS: arrivalNS, EndNS: startNS, Arg: p})
+	w.t.connSpan(Span{Conn: conn, Worker: w.id, Kind: KindServe,
+		StartNS: startNS, EndNS: endNS, Arg: p, Arg2: endNS - arrivalNS})
+}
+
+// Close records connection teardown (reset=true: RST from shedding, pool
+// exhaustion, or crash) and finalizes the connection's flight record.
+func (w *WorkerTrace) Close(conn uint64, nowNS int64, reset bool) {
+	if w == nil {
+		return
+	}
+	w.t.closeConn(conn, nowNS, reset)
+}
+
+// ScheduleTrace records Algorithm 1 passes from the core control loop.
+type ScheduleTrace struct{ t *Tracer }
+
+// ScheduleTrace returns the control loop's handle. Safe on nil.
+func (t *Tracer) ScheduleTrace() *ScheduleTrace {
+	if t == nil {
+		return nil
+	}
+	return &ScheduleTrace{t: t}
+}
+
+// Pass records one schedule_and_sync invocation on the running worker's
+// track: how many workers passed the cascade out of the table.
+func (s *ScheduleTrace) Pass(worker int, nowNS int64, passed, total int) {
+	if s == nil {
+		return
+	}
+	s.t.lock()
+	s.t.commit(Span{Worker: int32(worker), Kind: KindSchedule,
+		StartNS: nowNS, EndNS: nowNS, Arg: int64(passed), Arg2: int64(total)})
+	s.t.unlock()
+}
+
+// MapTrace records selection-map syncs from the eBPF layer. The map has no
+// clock, so the wiring layer supplies one (the sim engine's Now, or
+// wall-clock for real deployments).
+type MapTrace struct {
+	t   *Tracer
+	now func() int64
+}
+
+// MapTrace returns a selection-map handle bound to the given clock. Safe on
+// nil (returns nil).
+func (t *Tracer) MapTrace(now func() int64) *MapTrace {
+	if t == nil {
+		return nil
+	}
+	return &MapTrace{t: t, now: now}
+}
+
+// Sync records one userspace selection-map update (bits = bitmap popcount).
+func (m *MapTrace) Sync(bits int) {
+	if m == nil {
+		return
+	}
+	now := m.now()
+	m.t.lock()
+	m.t.commit(Span{Worker: KernelTrack, Kind: KindSelmapSync,
+		StartNS: now, EndNS: now, Arg: int64(bits)})
+	m.t.unlock()
+}
