@@ -80,6 +80,12 @@ func checkSpan(s tracing.Span) error {
 		if !kernel {
 			return fmt.Errorf("must sit on the kernel track, got worker %d", s.Worker)
 		}
+	case tracing.KindFault:
+		// Fault/recovery instants sit on the affected worker's track, or on
+		// the kernel track for LB-wide faults (selmap sync stalls).
+		if !kernel && s.Worker < 0 {
+			return fmt.Errorf("must sit on a worker or kernel track, got %d", s.Worker)
+		}
 	default:
 		if kernel || s.Worker < 0 {
 			return fmt.Errorf("must sit on a worker track, got %d", s.Worker)
@@ -96,7 +102,7 @@ func checkSpan(s tracing.Span) error {
 	}
 	if s.Conn == 0 {
 		switch s.Kind {
-		case tracing.KindDrop, tracing.KindWakeup, tracing.KindSchedule, tracing.KindSelmapSync:
+		case tracing.KindDrop, tracing.KindWakeup, tracing.KindSchedule, tracing.KindSelmapSync, tracing.KindFault:
 		default:
 			return fmt.Errorf("conn-scoped kind with no connection id")
 		}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hermes/internal/core"
+	"hermes/internal/faults"
 	"hermes/internal/httpx"
 	"hermes/internal/telemetry"
 	"hermes/internal/tracing"
@@ -39,8 +40,18 @@ func main() {
 		trace      = flag.String("trace", "", "record a span dump (docs/TRACING.md) of proxied connections, written on shutdown (.jsonl = compact; else Chrome trace JSON)")
 		demo       = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
 		demoReqs   = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
+		faultSpec  = flag.String("faults", "", "fault schedule (docs/FAULTS.md grammar, times relative to start), e.g. \"hang@5s:w2:dur=3s;slow@10s:x=4:dur=5s\"")
 	)
 	flag.Parse()
+
+	var sched faults.Schedule
+	if *faultSpec != "" {
+		var err error
+		if sched, err = faults.ParseSpec(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+			os.Exit(2)
+		}
+	}
 
 	var tracer *tracing.Tracer
 	if *trace != "" {
@@ -52,7 +63,7 @@ func main() {
 	}
 
 	if *demo {
-		runDemo(*workers, *demoReqs, *statsEvery, tracer, *trace)
+		runDemo(*workers, *demoReqs, *statsEvery, tracer, *trace, sched)
 		return
 	}
 	if *backends == "" {
@@ -64,6 +75,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
 		os.Exit(1)
 	}
+	applyFaults(lb, sched)
 	if *admin != "" {
 		go func() {
 			fmt.Printf("hermes-lb: policy API on %s\n", *admin)
@@ -141,6 +153,23 @@ type pworker struct {
 	Handled atomic.Uint64
 	// Delay injects extra latency per request (demo poisoning).
 	Delay atomic.Int64
+	// hangUntilNS, while in the future, stalls the worker at its next loop
+	// iteration without touching the WST — the loop-enter timestamp goes
+	// stale exactly as a real hang's would (injected fault).
+	hangUntilNS atomic.Int64
+}
+
+// maybeHang blocks until the injected hang deadline passes (no-op when
+// none is set). Called before LoopEnter so the stall is visible to the
+// scheduler as staleness, the paper's FilterTime signal.
+func (w *pworker) maybeHang() {
+	for {
+		d := w.hangUntilNS.Load() - time.Now().UnixNano()
+		if d <= 0 {
+			return
+		}
+		time.Sleep(time.Duration(d))
+	}
 }
 
 func newProxy(listen string, backends []string, workers int, tracer *tracing.Tracer) (*proxy, error) {
@@ -248,6 +277,7 @@ func (p *proxy) acceptLoop() {
 func (w *pworker) run() {
 	buf := make([]byte, 64<<10)
 	for tc := range w.queue {
+		w.maybeHang()
 		now := time.Now().UnixNano()
 		w.hook.LoopEnter(now)
 		// Fold the channel backlog into the pending-event metric: queued
@@ -354,9 +384,62 @@ func (w *pworker) reply(conn net.Conn, resp *httpx.Response) {
 	_, _ = conn.Write(resp.Append(nil))
 }
 
+// applyFaults arms a wall-clock translation of the sim fault schedule on
+// the real proxy: hangs and slowdowns map directly; a crash is approximated
+// as a stall until its restart delay (goroutines cannot be SIGKILLed);
+// queue, selmap, and probe faults have no real-socket analogue here and are
+// skipped with a note.
+func applyFaults(p *proxy, sched faults.Schedule) {
+	for _, ev := range sched.Events {
+		ev := ev
+		time.AfterFunc(time.Duration(ev.AtNS), func() {
+			w := p.victim(ev.Worker)
+			switch ev.Kind {
+			case faults.Hang:
+				w.hangUntilNS.Store(time.Now().UnixNano() + ev.DurNS)
+				fmt.Printf("faults: hang w%d for %s\n", w.id, time.Duration(ev.DurNS))
+			case faults.Crash:
+				dur := ev.RestartNS
+				if dur == 0 {
+					dur = int64(time.Hour)
+				}
+				w.hangUntilNS.Store(time.Now().UnixNano() + dur)
+				fmt.Printf("faults: crash w%d (stall until restart %s)\n", w.id, time.Duration(dur))
+			case faults.Slow:
+				// Poison per-request latency instead of scaling CPU: the
+				// proxy's cost is dominated by the upstream round trip.
+				const base = 5 * time.Millisecond
+				w.Delay.Store(int64(float64(base) * (ev.Factor - 1)))
+				fmt.Printf("faults: slow w%d x%g for %s\n", w.id, ev.Factor, time.Duration(ev.DurNS))
+				if ev.DurNS > 0 {
+					time.AfterFunc(time.Duration(ev.DurNS), func() { w.Delay.Store(0) })
+				}
+			default:
+				fmt.Printf("faults: %s has no real-socket analogue, skipped\n", ev.Kind)
+			}
+		})
+	}
+}
+
+// victim resolves a fault's target: a pinned worker id, else the busiest
+// worker (deepest queue, then most requests handled) at fire time.
+func (p *proxy) victim(id int) *pworker {
+	if id >= 0 && id < len(p.workers) {
+		return p.workers[id]
+	}
+	best := p.workers[0]
+	for _, w := range p.workers[1:] {
+		if len(w.queue) > len(best.queue) ||
+			(len(w.queue) == len(best.queue) && w.Handled.Load() > best.Handled.Load()) {
+			best = w
+		}
+	}
+	return best
+}
+
 // runDemo spins up two trivial backends, the proxy, and a client fleet, with
 // one worker poisoned halfway through to show the bitmap steering around it.
-func runDemo(workers, requests int, statsEvery time.Duration, tracer *tracing.Tracer, tracePath string) {
+func runDemo(workers, requests int, statsEvery time.Duration, tracer *tracing.Tracer, tracePath string, sched faults.Schedule) {
 	backendAddrs := make([]string, 2)
 	for i := range backendAddrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -390,6 +473,7 @@ func runDemo(workers, requests int, statsEvery time.Duration, tracer *tracing.Tr
 		panic(err)
 	}
 	defer p.close()
+	applyFaults(p, sched)
 	fmt.Printf("demo: %d workers, proxy %s, backends %v\n", workers, p.addr(), backendAddrs)
 	if statsEvery > 0 {
 		go p.reportStats(statsEvery)

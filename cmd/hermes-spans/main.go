@@ -152,7 +152,7 @@ func analyze(spans []tracing.Span) *analysis {
 			if s.Arg2 != 0 {
 				a.overflow++
 			}
-		case tracing.KindSchedule, tracing.KindSelmapSync:
+		case tracing.KindSchedule, tracing.KindSelmapSync, tracing.KindFault:
 			// Control-plane instants; not part of any connection chain.
 		default:
 			c := get(s.Conn)

@@ -1,14 +1,19 @@
-// Failover: crash one worker mid-run and compare blast radius and recovery
-// across dispatch modes (§7 "How worker failures impact tenant services"):
+// Failover: drive the *same* declarative fault schedule — a worker crash
+// with a scheduled restart, then a worker hang — through every dispatch
+// mode and compare blast radius and recovery (§7 "How worker failures
+// impact tenant services"):
 //
 //   - reuseport keeps hashing new connections onto the dead worker until
-//     external health checks notice (≈1/N of traffic blackholed);
+//     its restart (≈1/N of traffic blackholed in between);
 //
 //   - exclusive never wakes the dead worker, but its concentration means a
-//     crash can take out most established connections at once;
+//     crash can take out most established connections at once — and a hang
+//     stalls that same majority for the full hang duration;
 //
-//   - Hermes detects the stale loop timestamp and routes around the dead
-//     worker within the hang threshold.
+//   - Hermes detects the stale loop timestamp (FilterTime) and routes
+//     around the victim, and the WST watchdog — possible only because
+//     Hermes exports the loop-enter heartbeat — turns the hang into a
+//     crash+restart within milliseconds instead of a seconds-long stall.
 //
 //     go run ./examples/failover
 package main
@@ -17,20 +22,30 @@ import (
 	"fmt"
 	"time"
 
+	"hermes/internal/faults"
 	"hermes/internal/kernel"
 	"hermes/internal/l7lb"
 	"hermes/internal/sim"
 	"hermes/internal/workload"
 )
 
+// The schedule, in the docs/FAULTS.md grammar: crash the most-loaded worker
+// at 500ms (connections reset, restart 250ms later), then hang the
+// most-loaded worker for 400ms at 1.5s.
+const spec = "crash@500ms:drop:restart=250ms;hang@1.5s:dur=400ms"
+
 func main() {
 	const (
 		seed    = 11
 		workers = 8
-		crashAt = 500 * time.Millisecond
-		window  = 1500 * time.Millisecond
+		window  = 2500 * time.Millisecond
 	)
 	ports := []uint16{8080}
+	sched, err := faults.ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fault schedule: %s\n\n", sched)
 
 	for _, mode := range []l7lb.Mode{l7lb.ModeExclusive, l7lb.ModeReuseport, l7lb.ModeHermes} {
 		eng := sim.NewEngine(seed)
@@ -52,39 +67,51 @@ func main() {
 		}
 		gen.Run(window)
 
-		// Crash the most loaded worker at crashAt, dropping its connections
-		// (clients see RSTs and would reconnect).
-		var victim *l7lb.Worker
-		var victimConns, liveAtCrash int
-		eng.At(int64(crashAt), func() {
-			victim = lb.Workers[0]
-			for _, w := range lb.Workers {
-				liveAtCrash += w.OpenConns()
-				if w.OpenConns() > victim.OpenConns() {
-					victim = w
-				}
-			}
-			victimConns = victim.OpenConns()
-			victim.Crash(true)
-		})
+		inj := faults.NewInjector(lb, sched, seed)
+		inj.StaleFallback = 100 * time.Millisecond
+		inj.Start()
+
+		// The watchdog scans WST loop-enter staleness; it exists only for
+		// Hermes modes (NewWatchdog returns nil elsewhere — the baselines
+		// have no heartbeat to watch, which is the point).
+		dog := faults.NewWatchdog(lb, 2*time.Millisecond)
+		if dog != nil {
+			dog.AutoRestart = true
+			dog.RestartDelay = 50 * time.Millisecond
+			dog.Start(window)
+		}
+
 		eng.RunUntil(int64(window + 2*time.Second))
 
-		// Connections stranded in the dead worker's accept queue: dispatched
-		// after the crash but never serviced.
+		// Connections stranded in a dead or hung worker's accept queue:
+		// dispatched into the outage but never serviced.
 		stranded := 0
-		if g := lb.Groups(); len(g) > 0 {
-			stranded = g[0].Sockets()[victim.ID].QueueLen()
-		} else if s := lb.SharedSockets(); len(s) > 0 {
-			stranded = s[0].QueueLen()
+		for _, g := range lb.Groups() {
+			for _, s := range g.Sockets() {
+				stranded += s.QueueLen()
+			}
 		}
+		for _, s := range lb.SharedSockets() {
+			stranded += s.QueueLen()
+		}
+		restarts := uint64(0)
+		for _, w := range lb.Workers {
+			restarts += w.Restarts
+		}
+
 		fmt.Printf("== %s ==\n", mode)
-		fmt.Printf("crashed worker %d held %d conns (blast radius %.0f%% of %d live at crash)\n",
-			victim.ID, victimConns, 100*float64(victimConns)/float64(liveAtCrash), liveAtCrash)
-		fmt.Printf("requests completed: %d of %d sent; conns reset by crash: %d\n",
-			lb.Completed, gen.RequestsSent, resets)
-		fmt.Printf("conns stranded on dead worker's socket after recovery window: %d\n\n", stranded)
+		fmt.Printf("faults injected: %d; conns reset: %d; worker restarts: %d", inj.Injected, resets, restarts)
+		if dog != nil && dog.Detections > 0 {
+			fmt.Printf("; watchdog detections: %d (staleness %v)", dog.Detections,
+				time.Duration(dog.DetectionNS[0]).Round(time.Millisecond))
+		}
+		fmt.Println()
+		fmt.Printf("requests completed: %d of %d sent; p99 %.2fms\n",
+			lb.Completed, gen.RequestsSent, lb.Latency.Percentile(99))
+		fmt.Printf("conns stranded in dead/hung accept queues after recovery window: %d\n\n", stranded)
 	}
-	fmt.Println("Hermes strands nothing: the dead worker's loop timestamp goes stale,")
-	fmt.Println("FilterTime drops it from the bitmap, and the kernel dispatch program")
-	fmt.Println("never selects its socket again.")
+	fmt.Println("Hermes strands nothing and recovers the hang in milliseconds: the")
+	fmt.Println("victim's loop timestamp goes stale, FilterTime drops it from the")
+	fmt.Println("bitmap, and the watchdog crash+restarts it — the baselines stall")
+	fmt.Println("until the hang releases on its own.")
 }

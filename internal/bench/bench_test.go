@@ -209,6 +209,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig2", "fig3", "fig45", "fig7", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "figA5", "walkthrough", "ablations", "cluster", "baselines",
+		"faults",
 	}
 	for _, name := range want {
 		e, ok := exps[name]
@@ -309,6 +310,7 @@ func TestRegistryCellCounts(t *testing.T) {
 		"fig15":     8,
 		"baselines": len(AllModes),
 		"ablations": 8,
+		"faults":    len(faultsScenarios) * len(Table3Modes),
 	}
 	for name, e := range Experiments() {
 		cells := e.Cells(o)

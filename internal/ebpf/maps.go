@@ -49,10 +49,22 @@ type ArrayMap struct {
 	// SyscallCount counts userspace update/lookup operations, modelling the
 	// syscall + context-switch cost accounted in Table 5.
 	SyscallCount atomic.Uint64
+	// FailedUpdates counts updates rejected by an injected sync failure.
+	FailedUpdates atomic.Uint64
 
 	telUpdates *telemetry.Counter
 	telLookups *telemetry.Counter
 	tr         *tracing.MapTrace
+
+	// failUpdate, when set, makes Update fail (sync-failure fault): the
+	// syscall is still charged but the store is dropped.
+	failUpdate atomic.Value // holds func() bool
+	// stampNow/maxAgeNS, when set, make kernel-side Lookup treat entries
+	// older than maxAgeNS as absent (stale-bitmap fault): the program sees
+	// an empty bitmap and declines, falling back to reuseport hashing.
+	stampNow atomic.Value // holds func() int64
+	maxAgeNS atomic.Int64
+	lastUp   []atomic.Int64
 }
 
 // Instrument wires telemetry counters for userspace map operations: updates
@@ -73,7 +85,36 @@ func NewArrayMap(maxEntries int) *ArrayMap {
 	if maxEntries < 1 {
 		panic(fmt.Sprintf("ebpf: array map needs ≥1 entries, got %d", maxEntries))
 	}
-	return &ArrayMap{vals: make([]uint64, maxEntries)}
+	return &ArrayMap{
+		vals:   make([]uint64, maxEntries),
+		lastUp: make([]atomic.Int64, maxEntries),
+	}
+}
+
+// SetFailUpdates installs a fault predicate evaluated on each Update; while
+// it returns true, updates are charged but dropped with an error. Pass nil
+// to clear.
+func (m *ArrayMap) SetFailUpdates(fn func() bool) {
+	if fn == nil {
+		fn = func() bool { return false }
+	}
+	m.failUpdate.Store(fn)
+}
+
+// SetStaleness arms the stale-bitmap fault model: with a clock and a
+// positive maxAge, kernel-side Lookups of an entry not successfully updated
+// within maxAge return (0, true) — an empty bitmap — so selection programs
+// decline and the kernel falls back to reuseport hashing. Entries count as
+// freshly updated at arm time. Pass maxAge 0 to disarm.
+func (m *ArrayMap) SetStaleness(now func() int64, maxAge int64) {
+	if now != nil {
+		at := now()
+		for i := range m.lastUp {
+			m.lastUp[i].Store(at)
+		}
+		m.stampNow.Store(now)
+	}
+	m.maxAgeNS.Store(maxAge)
 }
 
 // Type implements Map.
@@ -88,6 +129,13 @@ func (m *ArrayMap) Lookup(key uint32) (uint64, bool) {
 		return 0, false
 	}
 	m.telLookups.Inc()
+	if maxAge := m.maxAgeNS.Load(); maxAge > 0 {
+		if now, ok := m.stampNow.Load().(func() int64); ok {
+			if now()-m.lastUp[key].Load() > maxAge {
+				return 0, true
+			}
+		}
+	}
 	return atomic.LoadUint64(&m.vals[key]), true
 }
 
@@ -96,8 +144,16 @@ func (m *ArrayMap) Update(key uint32, val uint64) error {
 	if int(key) >= len(m.vals) {
 		return fmt.Errorf("ebpf: update key %d out of range [0,%d)", key, len(m.vals))
 	}
-	atomic.StoreUint64(&m.vals[key], val)
 	m.SyscallCount.Add(1)
+	if fail, ok := m.failUpdate.Load().(func() bool); ok && fail() {
+		// The syscall happened; the write did not take (injected EAGAIN).
+		m.FailedUpdates.Add(1)
+		return fmt.Errorf("ebpf: injected update failure for key %d", key)
+	}
+	atomic.StoreUint64(&m.vals[key], val)
+	if now, ok := m.stampNow.Load().(func() int64); ok {
+		m.lastUp[key].Store(now())
+	}
 	m.telUpdates.Inc()
 	m.tr.Sync(bits.OnesCount64(val))
 	return nil

@@ -205,13 +205,19 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 		ep.EventsDelivered += uint64(len(evs))
 		ep.tel.Wakeups.Inc()
 		ep.tel.Events.Add(uint64(len(evs)))
-		ep.ns.eng.At(ep.ns.eng.Now(), func() { fn(evs) })
+		ep.tel.Residency.Observe(0)
+		now := ep.ns.eng.Now()
+		ep.tr.Wakeup(now, now, len(evs), false)
+		ep.ns.eng.At(now, func() { fn(evs) })
 		return
 	}
 	if timeout == 0 {
 		ep.Waits++
 		ep.tel.Wakeups.Inc()
-		ep.ns.eng.At(ep.ns.eng.Now(), func() { fn(nil) })
+		ep.tel.Residency.Observe(0)
+		now := ep.ns.eng.Now()
+		ep.tr.Wakeup(now, now, 0, true)
+		ep.ns.eng.At(now, func() { fn(nil) })
 		return
 	}
 
@@ -237,6 +243,25 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 // Blocked reports whether the owning worker is blocked in a Wait — the
 // "idle" test the exclusive wakeup walk applies (§2.2, Fig. A2).
 func (ep *Epoll) Blocked() bool { return ep.waiter != nil }
+
+// Close tears the instance down, as the kernel does when a process dies
+// with an epoll fd open: the outstanding waiter (if any) is discarded
+// without being called, and every watch is unhooked from its socket's
+// wait queue so exclusive wakeup walks can no longer pick this instance.
+// A closed instance must not be reused; crashed workers build a new one
+// on restart.
+func (ep *Epoll) Close() {
+	if w := ep.waiter; w != nil {
+		w.timer.Cancel()
+		ep.waiter = nil
+	}
+	for s, w := range ep.interest {
+		s.removeWatch(w)
+		w.inReady = false
+		delete(ep.interest, s)
+	}
+	ep.readyList = ep.readyList[:0]
+}
 
 // Kick wakes the blocked waiter with whatever is ready (possibly nothing) —
 // an eventfd-style userspace signal, used e.g. to hand off the accept mutex

@@ -73,6 +73,22 @@ func (s *Socket) GroupIndex() int { return s.groupIdx }
 // QueueLen returns the current accept-queue depth (listening sockets).
 func (s *Socket) QueueLen() int { return len(s.acceptQ) }
 
+// AcceptCap returns the accept-queue capacity (listening sockets).
+func (s *Socket) AcceptCap() int { return s.acceptCap }
+
+// SetAcceptCap changes the accept-queue capacity, as a listen(2) with a
+// new backlog does. Shrinking below the current depth does not evict
+// queued connections; it only makes new arrivals overflow.
+func (s *Socket) SetAcceptCap(n int) {
+	if !s.Listening {
+		panic(fmt.Sprintf("kernel: SetAcceptCap on non-listening socket %d", s.ID))
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.acceptCap = n
+}
+
 // PendingData returns the number of unread payloads (connection sockets).
 func (s *Socket) PendingData() int { return len(s.pending) }
 

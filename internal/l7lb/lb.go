@@ -36,6 +36,7 @@ type LB struct {
 	mutex       *acceptMutex
 	acceptExtra time.Duration // per-accept dispatch overhead (mode-dependent)
 	tel         lbInstruments
+	probeSinks  []func(work Work, latencyNS int64)
 
 	// Latency samples end-to-end request time (ms).
 	Latency stats.Sample
@@ -147,21 +148,7 @@ func New(eng *sim.Engine, cfg Config) (*LB, error) {
 			w.backend = cfg.Backends.NewClient()
 		}
 		lb.Workers = append(lb.Workers, w)
-
-		switch cfg.Mode {
-		case ModeExclusive, ModeExclusiveRR, ModeHerd, ModeIOUring:
-			for _, s := range lb.shared {
-				w.ep.Add(s)
-			}
-		case ModeAcceptMutex:
-			w.listenSocks = lb.shared
-		case ModeDispatcher:
-			w.executor = true
-		case ModeReuseport, ModeHermes, ModeHermesNative:
-			for _, g := range lb.groups {
-				w.ep.Add(g.Sockets()[i])
-			}
-		}
+		lb.registerWorkerSockets(w)
 	}
 	if cfg.Mode == ModeDispatcher {
 		lb.Dispatcher = newDispatcher(lb)
@@ -188,6 +175,29 @@ func (lb *LB) Start() {
 	}
 	if lb.Dispatcher != nil {
 		lb.Dispatcher.start()
+	}
+}
+
+// registerWorkerSockets wires a worker's epoll (or its mode-specific role)
+// to the listening sockets: shared-socket modes register every listener,
+// accept-mutex workers register lazily while holding the mutex, dispatcher
+// executors run job queues instead, and reuseport/Hermes workers own their
+// group slot. Called at build time and again when a crashed worker
+// restarts with a fresh epoll instance.
+func (lb *LB) registerWorkerSockets(w *Worker) {
+	switch lb.Cfg.Mode {
+	case ModeExclusive, ModeExclusiveRR, ModeHerd, ModeIOUring:
+		for _, s := range lb.shared {
+			w.ep.Add(s)
+		}
+	case ModeAcceptMutex:
+		w.listenSocks = lb.shared
+	case ModeDispatcher:
+		w.executor = true
+	case ModeReuseport, ModeHermes, ModeHermesNative:
+		for _, g := range lb.groups {
+			w.ep.Add(g.Sockets()[w.ID])
+		}
 	}
 }
 
@@ -226,6 +236,9 @@ func (lb *LB) recordCompletion(w *Worker, conn *kernel.Conn, work Work) {
 	if work.Probe {
 		lb.ProbesCompleted++
 		lb.ProbeLatency.AddDuration(lat)
+		if i := int(work.ProbeSrc); i > 0 && i <= len(lb.probeSinks) {
+			lb.probeSinks[i-1](work, lat)
+		}
 	} else {
 		lb.Completed++
 		lb.Latency.AddDuration(lat)
@@ -239,6 +252,16 @@ func (lb *LB) recordCompletion(w *Worker, conn *kernel.Conn, work Work) {
 	if lb.OnResponse != nil {
 		lb.OnResponse(conn, work)
 	}
+}
+
+// RegisterProbeSink adds a per-prober completion callback and returns the
+// tag to stamp on that prober's probe Work (Work.ProbeSrc). Completions of
+// tagged probes are forwarded with their latency, so several probers on one
+// LB keep exact independent accounting instead of sharing the LB-global
+// ProbesCompleted / ProbeLatency aggregates.
+func (lb *LB) RegisterProbeSink(fn func(work Work, latencyNS int64)) int32 {
+	lb.probeSinks = append(lb.probeSinks, fn)
+	return int32(len(lb.probeSinks))
 }
 
 func (lb *LB) notifyReset(conn *kernel.Conn) {

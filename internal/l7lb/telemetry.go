@@ -58,7 +58,7 @@ func wireTelemetry(lb *LB) {
 		Help: "events delivered per worker"}, n)
 	t.epWaitNS = sink.Histogram(telemetry.Metric{
 		Name: "kernel.epoll.wait_ns", Layer: "kernel", Unit: "ns",
-		Help: "time blocked per epoll_wait that actually blocked"}, telemetry.DurationBuckets())
+		Help: "time blocked per epoll_wait (0 for immediate returns)"}, telemetry.DurationBuckets())
 
 	t.qEnqueued = sink.CounterVec(telemetry.Metric{
 		Name: "kernel.accept_queue.enqueued", Layer: "kernel", Unit: "conns",

@@ -22,6 +22,9 @@ type Work struct {
 	Close bool
 	// Probe marks the health probes of Fig. 11.
 	Probe bool
+	// ProbeSrc tags which prober issued a probe (RegisterProbeSink tag;
+	// 0 = untagged), so concurrent probers keep exact separate accounting.
+	ProbeSrc int32
 	// Tenant is the tenant port this request belongs to.
 	Tenant uint16
 }

@@ -27,6 +27,19 @@ type Worker struct {
 	crashed  bool
 	executor bool // ModeDispatcher executors run job queues, not epoll loops
 
+	// gen is bumped by Crash and Restart so callbacks scheduled against a
+	// previous incarnation of the worker (event completions, hang releases)
+	// become no-ops instead of resurrecting state.
+	gen uint64
+	// hangUntilNS, while in the future, models a busy-spinning hang: the
+	// worker burns CPU without making progress (Appendix C case 1). The
+	// spinStartNS/spinEndNS bracket feeds the spin into BusyNS.
+	hangUntilNS int64
+	spinStartNS int64
+	spinEndNS   int64
+	// costMult scales every handled event's CPU cost (slow-worker fault).
+	costMult float64
+
 	conns   []*kernel.Socket
 	connIdx map[*kernel.Socket]int
 
@@ -53,6 +66,8 @@ type Worker struct {
 	Accepted uint64
 	// ResetConns counts connections reset by pool exhaustion or shedding.
 	ResetConns uint64
+	// Restarts counts recoveries from a crash.
+	Restarts uint64
 
 	// Detailed per-worker distributions (enabled by Config.DetailedStats).
 	EventsPerWait *stats.Sample // Fig. 4
@@ -81,12 +96,13 @@ func newWorker(lb *LB, id int, hook Hook) *Worker {
 		hint = max
 	}
 	w := &Worker{
-		ID:      id,
-		lb:      lb,
-		ep:      lb.NS.NewEpoll(),
-		hook:    hook,
-		conns:   make([]*kernel.Socket, 0, hint),
-		connIdx: make(map[*kernel.Socket]int, hint),
+		ID:       id,
+		lb:       lb,
+		ep:       lb.NS.NewEpoll(),
+		hook:     hook,
+		costMult: 1,
+		conns:    make([]*kernel.Socket, 0, hint),
+		connIdx:  make(map[*kernel.Socket]int, hint),
 	}
 	if lb.Cfg.DetailedStats {
 		w.EventsPerWait = &stats.Sample{}
@@ -97,19 +113,28 @@ func newWorker(lb *LB, id int, hook Hook) *Worker {
 	w.telServed = lb.tel.served.At(id)
 	w.telAccepted = lb.tel.accepted.At(id)
 	w.telOpen = lb.tel.openConns.At(id)
-	w.ep.Instrument(kernel.EpollInstruments{
-		Wakeups:   lb.tel.epWakeups.At(id),
-		Spurious:  lb.tel.epSpurious.At(id),
-		Timeouts:  lb.tel.epTimeouts.At(id),
-		Events:    lb.tel.epEvents.At(id),
-		Residency: lb.tel.epWaitNS,
-	})
 	if id >= 0 {
 		// The dispatcher core (id -1) gets its own track in newDispatcher.
 		w.tr = lb.Cfg.Tracer.WorkerTrace(id)
+	}
+	w.instrumentEpoll()
+	return w
+}
+
+// instrumentEpoll wires the current epoll instance to this worker's
+// telemetry slots and trace track. Re-run after Restart builds a fresh
+// instance, so a restarted worker keeps reporting into the same slots.
+func (w *Worker) instrumentEpoll() {
+	w.ep.Instrument(kernel.EpollInstruments{
+		Wakeups:   w.lb.tel.epWakeups.At(w.ID),
+		Spurious:  w.lb.tel.epSpurious.At(w.ID),
+		Timeouts:  w.lb.tel.epTimeouts.At(w.ID),
+		Events:    w.lb.tel.epEvents.At(w.ID),
+		Residency: w.lb.tel.epWaitNS,
+	})
+	if w.ID >= 0 {
 		w.ep.InstrumentTrace(w.tr)
 	}
-	return w
 }
 
 // Epoll exposes the worker's epoll instance (wiring and tests).
@@ -139,14 +164,158 @@ func (w *Worker) Crashed() bool { return w.crashed }
 
 // Crash kills the worker (§7 "How worker failures impact tenant services").
 // With dropConns, its established connections are reset, notifying the
-// workload's reset callback so clients can reconnect.
+// workload's reset callback so clients can reconnect. As when a real
+// process dies, the kernel closes its epoll fd: the outstanding waiter is
+// cancelled and every watch (including listen sockets) leaves its socket's
+// wait queue, so exclusive wakeup walks can no longer select — and lose —
+// a wakeup on the dead worker. The reuseport listen socket, owned by the
+// group rather than the process in this model, stays open until Restart,
+// so steered connections queue behind the dead worker meanwhile.
 func (w *Worker) Crash(dropConns bool) {
+	if w.crashed {
+		return
+	}
 	w.crashed = true
+	w.gen++
+	now := w.lb.Eng.Now()
+	// Bank the elapsed fraction of in-flight work and spin: the CPU was
+	// really spent even though the completion callback will never run.
+	if w.jobEndNS > w.jobStartNS {
+		end := now
+		if w.jobEndNS < end {
+			end = w.jobEndNS
+		}
+		if end > w.jobStartNS {
+			w.busyDoneNS += end - w.jobStartNS
+		}
+		w.jobStartNS, w.jobEndNS = 0, 0
+	}
+	w.bankSpin(now)
+	w.hangUntilNS = 0
+	w.ep.Close()
+	if m := w.lb.mutex; m != nil && m.holder == w {
+		w.releaseMutex()
+	}
 	if dropConns {
 		for len(w.conns) > 0 {
 			w.resetConn(w.conns[len(w.conns)-1])
 		}
 	}
+}
+
+// Restart brings a crashed worker back: a fresh process with a fresh epoll
+// instance, re-registered on the mode's listen sockets (including its
+// reuseport slot), with any connections stranded by a Crash(false) reset —
+// the dead process's fds are unrecoverable. Telemetry and tracing keep
+// flowing into the worker's existing slots.
+func (w *Worker) Restart() {
+	if !w.crashed {
+		return
+	}
+	for len(w.conns) > 0 {
+		w.resetConn(w.conns[len(w.conns)-1])
+	}
+	w.crashed = false
+	w.gen++
+	w.Restarts++
+	w.hangUntilNS, w.spinStartNS, w.spinEndNS = 0, 0, 0
+	w.jobStartNS, w.jobEndNS = 0, 0
+	w.costMult = 1
+	w.jobs = w.jobs[:0]
+	w.jobRunning = false
+	w.queuedCostNS = 0
+	w.ep = w.lb.NS.NewEpoll()
+	w.instrumentEpoll()
+	w.lb.registerWorkerSockets(w)
+	w.Start()
+}
+
+// Hang busy-spins the worker for d: it stops fetching and handling events
+// (its loop-enter timestamp goes stale — the paper's FilterTime signal)
+// while still burning its core, then resumes where it left off. Overlapping
+// hangs extend the spin rather than stacking.
+func (w *Worker) Hang(d time.Duration) {
+	if w.crashed || d <= 0 {
+		return
+	}
+	now := w.lb.Eng.Now()
+	until := now + int64(d)
+	if until <= w.hangUntilNS {
+		return
+	}
+	if w.spinEndNS > now {
+		w.spinEndNS = until
+	} else {
+		w.bankSpin(now)
+		start := now
+		if w.jobEndNS > start {
+			// An in-flight event charge finishes first; the spin takes over
+			// from there so BusyNS never double-counts the core.
+			start = w.jobEndNS
+		}
+		w.spinStartNS, w.spinEndNS = start, until
+		if w.spinEndNS < w.spinStartNS {
+			w.spinEndNS = w.spinStartNS
+		}
+	}
+	w.hangUntilNS = until
+}
+
+// Hung reports whether the worker is currently inside an injected hang.
+func (w *Worker) Hung() bool { return w.hangUntilNS > w.lb.Eng.Now() }
+
+// bankSpin folds a finished spin bracket into busyDoneNS.
+func (w *Worker) bankSpin(now int64) {
+	if w.spinEndNS > w.spinStartNS {
+		end := now
+		if w.spinEndNS < end {
+			end = w.spinEndNS
+		}
+		if end > w.spinStartNS {
+			w.busyDoneNS += end - w.spinStartNS
+		}
+	}
+	w.spinStartNS, w.spinEndNS = 0, 0
+}
+
+// SetCostMultiplier scales the CPU cost of every event this worker handles
+// (slow-worker fault; 1 restores normal speed).
+func (w *Worker) SetCostMultiplier(m float64) {
+	if m <= 0 {
+		m = 1
+	}
+	w.costMult = m
+}
+
+// CostMultiplier returns the current slow-worker scale factor.
+func (w *Worker) CostMultiplier() float64 { return w.costMult }
+
+func (w *Worker) scaleCost(d time.Duration) time.Duration {
+	if w.costMult != 1 && d > 0 {
+		return time.Duration(float64(d) * w.costMult)
+	}
+	return d
+}
+
+// gate defers fn until the current hang releases. It returns true when the
+// worker is hung (fn will run at hangUntilNS, unless the worker crashes or
+// the hang is extended, in which case fn re-gates).
+func (w *Worker) gate(fn func()) bool {
+	if w.hangUntilNS <= w.lb.Eng.Now() {
+		return false
+	}
+	gen := w.gen
+	w.lb.Eng.At(w.hangUntilNS, func() {
+		if w.crashed || w.gen != gen {
+			return
+		}
+		if w.gate(fn) {
+			return // hang was extended; the spin bracket is still live
+		}
+		w.bankSpin(w.lb.Eng.Now())
+		fn()
+	})
+	return true
 }
 
 // busy charges completed (instantaneous) CPU work.
@@ -175,7 +344,7 @@ func (w *Worker) endWork() {
 }
 
 // BusyNS returns accumulated virtual CPU time as of nowNS, including the
-// elapsed part of any in-flight job.
+// elapsed parts of any in-flight job and any injected busy-spin.
 func (w *Worker) BusyNS(nowNS int64) int64 {
 	b := w.busyDoneNS
 	if w.jobEndNS > w.jobStartNS {
@@ -185,6 +354,15 @@ func (w *Worker) BusyNS(nowNS int64) int64 {
 		}
 		if end > w.jobStartNS {
 			b += end - w.jobStartNS
+		}
+	}
+	if w.spinEndNS > w.spinStartNS {
+		end := nowNS
+		if w.spinEndNS < end {
+			end = w.spinEndNS
+		}
+		if end > w.spinStartNS {
+			b += end - w.spinStartNS
 		}
 	}
 	return b
@@ -199,7 +377,7 @@ func (w *Worker) Start() {
 }
 
 func (w *Worker) loopEnter() {
-	if w.crashed {
+	if w.crashed || w.gate(w.loopEnter) {
 		return
 	}
 	now := w.lb.Eng.Now()
@@ -219,7 +397,9 @@ func (w *Worker) loopEnter() {
 }
 
 func (w *Worker) onWake(evs []kernel.Event) {
-	if w.crashed {
+	// A hung worker has fetched the batch but spins before touching it: the
+	// events (and any queued connections behind them) stall until release.
+	if w.crashed || w.gate(func() { w.onWake(evs) }) {
 		return
 	}
 	now := w.lb.Eng.Now()
@@ -247,38 +427,47 @@ func (w *Worker) processBatch(evs []kernel.Event, i int) {
 		return
 	}
 	cost, done := w.handle(evs[i])
+	cost = w.scaleCost(cost)
 	w.beginWork(cost)
-	w.lb.Eng.After(cost, func() {
-		if w.crashed {
+	gen := w.gen
+	w.lb.Eng.After(cost, func() { w.afterEvent(evs, i, gen, done) })
+}
+
+// afterEvent finishes event i once its CPU charge has elapsed (and any
+// injected hang has released), then continues the batch.
+func (w *Worker) afterEvent(evs []kernel.Event, i int, gen uint64, done func()) {
+	if w.crashed || w.gen != gen {
+		return
+	}
+	if w.gate(func() { w.afterEvent(evs, i, gen, done) }) {
+		return
+	}
+	w.endWork()
+	w.hook.EventHandled()
+	if done != nil {
+		done()
+	}
+	if w.lb.Cfg.EdgeTriggered && evs[i].Kind == kernel.EvReadable &&
+		!evs[i].Sock.Closed() && evs[i].Sock.PendingData() > 0 {
+		if p := w.lb.Cfg.Shed; p.Enabled && p.PendingThreshold > 0 &&
+			evs[i].Sock.PendingData() > p.PendingThreshold {
+			// Proactive degradation (Appendix C): RST the runaway
+			// connection instead of staying trapped in its drain.
+			w.ResetConns++
+			w.lb.ConnsReset++
+			w.resetConn(evs[i].Sock)
+			w.busy(w.lb.Cfg.Costs.Close)
+			w.processBatch(evs, i+1)
 			return
 		}
-		w.endWork()
-		w.hook.EventHandled()
-		if done != nil {
-			done()
-		}
-		if w.lb.Cfg.EdgeTriggered && evs[i].Kind == kernel.EvReadable &&
-			!evs[i].Sock.Closed() && evs[i].Sock.PendingData() > 0 {
-			if p := w.lb.Cfg.Shed; p.Enabled && p.PendingThreshold > 0 &&
-				evs[i].Sock.PendingData() > p.PendingThreshold {
-				// Proactive degradation (Appendix C): RST the runaway
-				// connection instead of staying trapped in its drain.
-				w.ResetConns++
-				w.lb.ConnsReset++
-				w.resetConn(evs[i].Sock)
-				w.busy(w.lb.Cfg.Costs.Close)
-				w.processBatch(evs, i+1)
-				return
-			}
-			// Edge-triggered drain obligation: keep consuming this socket
-			// before touching the rest of the loop — the trap of Appendix C
-			// when data arrives faster than it is processed.
-			w.hook.EventsFetched(1)
-			w.processBatch(evs, i)
-			return
-		}
-		w.processBatch(evs, i+1)
-	})
+		// Edge-triggered drain obligation: keep consuming this socket
+		// before touching the rest of the loop — the trap of Appendix C
+		// when data arrives faster than it is processed.
+		w.hook.EventsFetched(1)
+		w.processBatch(evs, i)
+		return
+	}
+	w.processBatch(evs, i+1)
 }
 
 // handle applies an event's immediate effects and returns its CPU cost plus
@@ -376,7 +565,11 @@ func (w *Worker) endLoop() {
 		tail += w.lb.Cfg.Costs.MutexOp
 	}
 	w.beginWork(tail)
+	gen := w.gen
 	w.lb.Eng.After(tail, func() {
+		if w.crashed || w.gen != gen {
+			return
+		}
 		w.endWork()
 		w.loopEnter()
 	})
@@ -491,13 +684,25 @@ func (w *Worker) runNextJob() {
 	w.jobRunning = true
 	j := w.jobs[0]
 	w.jobs = w.jobs[1:]
-	w.beginWork(j.cost)
-	w.lb.Eng.After(j.cost, func() {
-		w.endWork()
-		w.queuedCostNS -= int64(j.cost)
-		if j.done != nil {
-			j.done()
-		}
-		w.runNextJob()
-	})
+	// queuedCostNS tracks the unscaled cost pushJob added, so the slow
+	// multiplier applies only to the charge, not the queue accounting.
+	cost := w.scaleCost(j.cost)
+	w.beginWork(cost)
+	gen := w.gen
+	w.lb.Eng.After(cost, func() { w.afterJob(j, gen) })
+}
+
+func (w *Worker) afterJob(j execJob, gen uint64) {
+	if w.crashed || w.gen != gen {
+		return
+	}
+	if w.gate(func() { w.afterJob(j, gen) }) {
+		return
+	}
+	w.endWork()
+	w.queuedCostNS -= int64(j.cost)
+	if j.done != nil {
+		j.done()
+	}
+	w.runNextJob()
 }

@@ -12,6 +12,7 @@ import (
 
 	"hermes/internal/kernel"
 	"hermes/internal/l7lb"
+	"hermes/internal/stats"
 )
 
 // DelayThreshold is the internal-network delay budget: probes above it
@@ -34,13 +35,32 @@ type Prober struct {
 	Sent uint64
 	// Rejected counts probes whose SYN was refused outright.
 	Rejected uint64
-	seq      uint32
+	// Completed counts this prober's probes that finished (other probers on
+	// the same LB do not contaminate it).
+	Completed uint64
+	// Lost counts probes swallowed by injected probe loss.
+	Lost uint64
+	// Latency samples this prober's probe latencies (ms).
+	Latency stats.Sample
+
+	seq  uint32
+	src  int32
+	drop func() bool
 }
 
 // NewProber creates a prober against lb.
 func NewProber(lb *l7lb.LB, port uint16, interval time.Duration) *Prober {
-	return &Prober{lb: lb, Port: port, Interval: interval}
+	p := &Prober{lb: lb, Port: port, Interval: interval}
+	p.src = lb.RegisterProbeSink(func(_ l7lb.Work, latNS int64) {
+		p.Completed++
+		p.Latency.AddDuration(latNS)
+	})
+	return p
 }
+
+// SetDrop installs a probe-loss predicate: probes for which it returns true
+// are counted as sent but never reach the LB (and so count as delayed).
+func (p *Prober) SetDrop(fn func() bool) { p.drop = fn }
 
 // Run schedules probes over the window [now, now+d).
 func (p *Prober) Run(d time.Duration) {
@@ -62,6 +82,10 @@ func (p *Prober) scheduleNext(prev, end int64) {
 func (p *Prober) fire() {
 	p.seq++
 	p.Sent++
+	if p.drop != nil && p.drop() {
+		p.Lost++
+		return
+	}
 	conn, ok := p.lb.NS.DeliverSYN(kernel.FourTuple{
 		SrcIP:   0xfeed_0000 + p.seq,
 		SrcPort: uint16(40000 + p.seq%20000),
@@ -79,16 +103,21 @@ func (p *Prober) fire() {
 		RespSize:  64,
 		Close:     true,
 		Probe:     true,
+		ProbeSrc:  p.src,
 		Tenant:    p.Port,
 	})
 }
 
 // DelayedCount returns how many completed probes exceeded the threshold,
-// counting never-completed probes (stranded on hung workers or rejected) as
-// delayed too — in production those are exactly the 499s.
+// counting never-completed probes (stranded on hung workers, rejected, or
+// lost in flight) as delayed too — in production those are exactly the 499s.
+// Only this prober's probes count, even with other probers on the same LB.
 func (p *Prober) DelayedCount() uint64 {
-	completedDelayed := uint64(p.lb.ProbeLatency.CountAbove(float64(DelayThreshold) / 1e6))
-	lost := p.Sent - p.lb.ProbesCompleted
+	completedDelayed := uint64(p.Latency.CountAbove(float64(DelayThreshold) / 1e6))
+	var lost uint64
+	if p.Sent > p.Completed {
+		lost = p.Sent - p.Completed
+	}
 	return completedDelayed + lost
 }
 
@@ -117,12 +146,30 @@ type WorkerProber struct {
 	Sent uint64
 	// SkippedRounds counts per-worker skips (no live connection).
 	SkippedRounds uint64
+	// Completed counts this prober's probes that finished.
+	Completed uint64
+	// Lost counts probes swallowed by injected probe loss.
+	Lost uint64
+	// Latency samples this prober's probe latencies (ms).
+	Latency stats.Sample
+
+	src  int32
+	drop func() bool
 }
 
 // NewWorkerProber creates a per-worker prober against lb.
 func NewWorkerProber(lb *l7lb.LB, port uint16, interval time.Duration) *WorkerProber {
-	return &WorkerProber{lb: lb, Port: port, Interval: interval}
+	p := &WorkerProber{lb: lb, Port: port, Interval: interval}
+	p.src = lb.RegisterProbeSink(func(_ l7lb.Work, latNS int64) {
+		p.Completed++
+		p.Latency.AddDuration(latNS)
+	})
+	return p
 }
+
+// SetDrop installs a probe-loss predicate: probes for which it returns true
+// are counted as sent but never reach the LB (and so count as delayed).
+func (p *WorkerProber) SetDrop(fn func() bool) { p.drop = fn }
 
 // Run schedules probe rounds over [now, now+d).
 func (p *WorkerProber) Run(d time.Duration) {
@@ -142,12 +189,17 @@ func (p *WorkerProber) scheduleRound(prev, end int64) {
 				continue
 			}
 			p.Sent++
+			if p.drop != nil && p.drop() {
+				p.Lost++
+				continue
+			}
 			p.lb.NS.DeliverData(s.Conn(), l7lb.Work{
 				ArrivalNS: p.lb.Eng.Now(),
 				Cost:      10 * time.Microsecond,
 				Size:      64,
 				RespSize:  64,
 				Probe:     true,
+				ProbeSrc:  p.src,
 				Tenant:    p.Port,
 			})
 		}
@@ -156,10 +208,14 @@ func (p *WorkerProber) scheduleRound(prev, end int64) {
 }
 
 // DelayedCount returns probes delayed beyond the threshold, counting
-// never-completed probes as delayed.
+// never-completed probes as delayed. Only this prober's probes count, even
+// with other probers on the same LB.
 func (p *WorkerProber) DelayedCount() uint64 {
-	completedDelayed := uint64(p.lb.ProbeLatency.CountAbove(float64(DelayThreshold) / 1e6))
-	lost := p.Sent - p.lb.ProbesCompleted
+	completedDelayed := uint64(p.Latency.CountAbove(float64(DelayThreshold) / 1e6))
+	var lost uint64
+	if p.Sent > p.Completed {
+		lost = p.Sent - p.Completed
+	}
 	return completedDelayed + lost
 }
 

@@ -118,6 +118,11 @@ func spanArgs(s Span) map[string]any {
 		a["total"] = s.Arg2
 	case KindSelmapSync:
 		a["bits"] = s.Arg
+	case KindFault:
+		a["code"] = s.Arg
+		if s.Arg2 != 0 {
+			a["param"] = s.Arg2
+		}
 	}
 	return a
 }

@@ -167,6 +167,9 @@ func readChromeEvents(events []json.RawMessage) ([]Span, error) {
 			s.Arg, s.Arg2 = argInt(ev.Args, "passed"), argInt(ev.Args, "total")
 		case KindSelmapSync:
 			s.Arg = argInt(ev.Args, "bits")
+		case KindFault:
+			s.Arg = argInt(ev.Args, "code")
+			s.Arg2 = argInt(ev.Args, "param")
 		}
 		switch ev.Ph {
 		case "b":

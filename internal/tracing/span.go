@@ -60,12 +60,16 @@ const (
 	// KindSelmapSync: instant, kernel track — a userspace selection-map
 	// update reached the kernel (Arg=bitmap popcount).
 	KindSelmapSync
+	// KindFault: instant, worker or kernel track — an injected fault or
+	// recovery event (Arg=faults.Kind-style code, Arg2=kind-specific
+	// parameter such as the hang duration).
+	KindFault
 )
 
 // kindNames are the stable export names (docs/TRACING.md).
 var kindNames = [...]string{
 	"syn", "drop", "accept_queue", "accept", "notify_wait",
-	"serve", "close", "epoll_wait", "schedule", "selmap_sync",
+	"serve", "close", "epoll_wait", "schedule", "selmap_sync", "fault",
 }
 
 func (k Kind) String() string {

@@ -382,6 +382,33 @@ func (s *ScheduleTrace) Pass(worker int, nowNS int64, passed, total int) {
 	s.t.unlock()
 }
 
+// FaultTrace records injected faults and recovery actions from the fault
+// layer (internal/faults), so span dumps attribute tail latency to specific
+// injected events.
+type FaultTrace struct{ t *Tracer }
+
+// FaultTrace returns the fault injector's handle. Safe on nil.
+func (t *Tracer) FaultTrace() *FaultTrace {
+	if t == nil {
+		return nil
+	}
+	return &FaultTrace{t: t}
+}
+
+// Event records one fault/recovery instant on a worker's track (or the
+// kernel track for LB-wide faults such as selmap sync stalls). code is the
+// fault-layer event code; param is its kind-specific argument (duration,
+// multiplier in per-mille, queue cap, ...).
+func (f *FaultTrace) Event(worker int32, nowNS int64, code, param int64) {
+	if f == nil {
+		return
+	}
+	f.t.lock()
+	f.t.commit(Span{Worker: worker, Kind: KindFault,
+		StartNS: nowNS, EndNS: nowNS, Arg: code, Arg2: param})
+	f.t.unlock()
+}
+
 // MapTrace records selection-map syncs from the eBPF layer. The map has no
 // clock, so the wiring layer supplies one (the sim engine's Now, or
 // wall-clock for real deployments).
