@@ -4,6 +4,7 @@
 //	hermes-bench -exp table3
 //	hermes-bench -exp all -seed 7
 //	hermes-bench -exp table3 -parallel 8 -metrics table3.json
+//	hermes-bench -exp scale -parallel 1 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Output is plain text, one paper-style table or series per experiment.
 // Independent experiment cells (each owns its own engine and seed) fan out
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -45,8 +47,42 @@ func main() {
 		spanCell   = flag.String("span-cell", "", "cell to record (default: the experiment's first cell; see -exp list)")
 		spanSample = flag.Int("span-sample", 1, "head-sample 1 in N connections (1 = every connection)")
 		spanTail   = flag.Duration("span-tail", 0, "also keep any connection with a request at least this slow (0 = off)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path (go tool pprof; see docs/PERF.md)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this path after the run")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create mem profile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	opts := bench.DefaultOptions()
 	opts.Seed = *seed

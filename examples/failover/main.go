@@ -57,7 +57,7 @@ func main() {
 			panic(err)
 		}
 		resets := 0
-		lb.OnConnReset = func(*kernel.Conn) { resets++ }
+		lb.OnConnReset = func(kernel.ConnRef) { resets++ }
 		lb.Start()
 
 		spec := workload.Case3(ports).Scale(0.25)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"regexp"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -209,7 +210,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5",
 		"fig2", "fig3", "fig45", "fig7", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "figA5", "walkthrough", "ablations", "cluster", "baselines",
-		"faults",
+		"faults", "scale",
 	}
 	for _, name := range want {
 		e, ok := exps[name]
@@ -295,6 +296,24 @@ func TestParallelByteIdenticalOutput(t *testing.T) {
 	}
 }
 
+// scale's host-timing lines are the one place wall-clock leaks into rendered
+// output; everything else in the section must be byte-identical across
+// -parallel once the `wall X.Xs` tokens are normalized (the same rule the CI
+// smoke applies with sed).
+func TestScaleParallelByteIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep comparison is expensive")
+	}
+	wall := regexp.MustCompile(`wall [0-9.]+s`)
+	e := Experiments()["scale"]
+	seq := wall.ReplaceAllString(RunExperiment(e, parallelTestOptions(1)), "wall Xs")
+	par := wall.ReplaceAllString(RunExperiment(e, parallelTestOptions(8)), "wall Xs")
+	if seq != par {
+		t.Errorf("scale: output differs between -parallel 1 and -parallel 8\n--- seq ---\n%s\n--- par ---\n%s",
+			seq, par)
+	}
+}
+
 // Every experiment must enumerate well-formed cells: the parallel sweeps
 // their full grids, the sequential ones exactly one cell, and every cell a
 // unique non-empty name (metric dumps key on it).
@@ -311,6 +330,7 @@ func TestRegistryCellCounts(t *testing.T) {
 		"baselines": len(AllModes),
 		"ablations": 8,
 		"faults":    len(faultsScenarios) * len(Table3Modes),
+		"scale":     len(scaleFleets) * len(scaleTiers) * len(Table3Modes),
 	}
 	for name, e := range Experiments() {
 		cells := e.Cells(o)

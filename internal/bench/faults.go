@@ -114,8 +114,9 @@ func (tr *faultsTraffic) establish(n int, window time.Duration) {
 				DstIP: 0x0a00_0001, DstPort: tr.port,
 			}
 			if conn, ok := tr.lb.NS.DeliverSYN(tuple, nil); ok {
+				ref := conn.Ref()
 				phase := time.Duration(rng.Float64() * float64(tr.interReq))
-				eng.After(phase, func() { tr.stream(conn) })
+				eng.After(phase, func() { tr.stream(ref) })
 			} else {
 				tr.synDrops++
 			}
@@ -125,9 +126,10 @@ func (tr *faultsTraffic) establish(n int, window time.Duration) {
 
 // stream sends one request and reschedules until the connection dies or
 // the traffic window closes.
-func (tr *faultsTraffic) stream(conn *kernel.Conn) {
+func (tr *faultsTraffic) stream(ref kernel.ConnRef) {
 	eng := tr.lb.Eng
-	if conn.Sock().Closed() || eng.Now() >= tr.endNS {
+	conn := ref.Get()
+	if conn == nil || conn.Sock().Closed() || eng.Now() >= tr.endNS {
 		return
 	}
 	rng := eng.Rand()
@@ -138,7 +140,7 @@ func (tr *faultsTraffic) stream(conn *kernel.Conn) {
 		Tenant: tr.port,
 	})
 	gap := time.Duration(float64(tr.interReq) * (0.5 + rng.Float64()))
-	eng.After(gap, func() { tr.stream(conn) })
+	eng.After(gap, func() { tr.stream(ref) })
 }
 
 // churn opens one short-lived connection every gap over [from, endNS),
@@ -160,14 +162,15 @@ func (tr *faultsTraffic) churn(from time.Duration, gap time.Duration, reqs int) 
 				tr.synDrops++
 				return
 			}
-			tr.churnReqs(conn, reqs)
+			tr.churnReqs(conn.Ref(), reqs)
 		})
 	}
 }
 
-func (tr *faultsTraffic) churnReqs(conn *kernel.Conn, remaining int) {
+func (tr *faultsTraffic) churnReqs(ref kernel.ConnRef, remaining int) {
 	eng := tr.lb.Eng
-	if remaining == 0 || conn.Sock().Closed() {
+	conn := ref.Get()
+	if remaining == 0 || conn == nil || conn.Sock().Closed() {
 		return
 	}
 	rng := eng.Rand()
@@ -178,7 +181,7 @@ func (tr *faultsTraffic) churnReqs(conn *kernel.Conn, remaining int) {
 		Close:  remaining == 1,
 		Tenant: tr.port,
 	})
-	eng.After(tr.interReq/4, func() { tr.churnReqs(conn, remaining-1) })
+	eng.After(tr.interReq/4, func() { tr.churnReqs(ref, remaining-1) })
 }
 
 func (faultsExperiment) Cells(opts Options) []Cell {
@@ -226,7 +229,7 @@ func runFaultsCell(opts Options, scen faultsScenario, mode l7lb.Mode) faultsRow 
 	slices := make([]stats.Sample, (trafficEnd-baseStart)/sliceNS)
 	affected := map[kernel.ConnID]struct{}{}
 	lastDegradedNS := int64(-1)
-	lb.OnResponse = func(conn *kernel.Conn, work l7lb.Work) {
+	lb.OnResponse = func(conn kernel.ConnRef, work l7lb.Work) {
 		if work.Probe {
 			return
 		}
@@ -244,16 +247,16 @@ func runFaultsCell(opts Options, scen faultsScenario, mode l7lb.Mode) faultsRow 
 			slices[s].AddDuration(latNS)
 		}
 		if work.ArrivalNS >= t1 && latNS > threshNS {
-			affected[conn.ID] = struct{}{}
+			affected[conn.ID()] = struct{}{}
 			row.blastMS += float64(latNS-threshNS) / 1e6
 			if work.ArrivalNS > lastDegradedNS {
 				lastDegradedNS = work.ArrivalNS
 			}
 		}
 	}
-	lb.OnConnReset = func(conn *kernel.Conn) {
+	lb.OnConnReset = func(conn kernel.ConnRef) {
 		row.resets++
-		affected[conn.ID] = struct{}{}
+		affected[conn.ID()] = struct{}{}
 	}
 	lb.Start()
 

@@ -55,13 +55,16 @@ func Walkthrough(opts Options) string {
 					got = append(got, assignment{name, -1})
 					return
 				}
+				ref := conn.Ref()
 				eng.After(time.Millisecond, func() {
-					lb.NS.DeliverData(conn, l7lb.Work{ArrivalNS: eng.Now(), Cost: evCost, Close: true, Tenant: 8080})
+					if c := ref.Get(); c != nil {
+						lb.NS.DeliverData(c, l7lb.Work{ArrivalNS: eng.Now(), Cost: evCost, Close: true, Tenant: 8080})
+					}
 				})
 				// Record which worker accepted once one has.
 				var check func()
 				check = func() {
-					if wi := owner(lb, conn); wi >= 0 {
+					if wi := owner(lb, ref); wi >= 0 {
 						got = append(got, assignment{name, wi})
 						return
 					}
@@ -100,8 +103,13 @@ func Walkthrough(opts Options) string {
 	return out
 }
 
-// owner returns the worker index holding the connection, or -1.
-func owner(lb *l7lb.LB, conn *kernel.Conn) int {
+// owner returns the worker index holding the connection, or -1 (also when
+// the ref has gone stale — the recycled socket may belong to someone else).
+func owner(lb *l7lb.LB, ref kernel.ConnRef) int {
+	conn := ref.Get()
+	if conn == nil {
+		return -1
+	}
 	for wi, w := range lb.Workers {
 		if w.OwnsConn(conn.Sock()) {
 			return wi

@@ -84,7 +84,10 @@ type flowKey struct {
 
 type flowState struct {
 	device int
-	conn   *kernel.Conn
+	// conn is a checked ref: the flow table outlives individual events,
+	// and a reset connection's pooled object may be recycled under a new
+	// identity before the next frame for this flow arrives.
+	conn   kernel.ConnRef
 	tenant Tenant
 }
 
@@ -239,24 +242,30 @@ func (c *Cluster) Ingress(frame []byte) error {
 			return fmt.Errorf("cluster: device %d refused flow", di)
 		}
 		c.FlowsOpened++
-		c.flows[k] = &flowState{device: di, conn: conn, tenant: tenant}
+		c.flows[k] = &flowState{device: di, conn: conn.Ref(), tenant: tenant}
 	case tcp.Flags&(packet.FlagFIN|packet.FlagRST) != 0:
 		fs, ok := c.flows[k]
 		if !ok {
 			c.DataDropped++
 			return nil
 		}
-		c.Devices[fs.device].NS.DeliverFIN(fs.conn)
+		if conn := fs.conn.Get(); conn != nil {
+			c.Devices[fs.device].NS.DeliverFIN(conn)
+		}
 		delete(c.flows, k)
 	default:
 		fs, ok := c.flows[k]
-		if !ok || fs.conn.Sock().Closed() {
+		var conn *kernel.Conn
+		if ok {
+			conn = fs.conn.Get()
+		}
+		if conn == nil || conn.Sock().Closed() {
 			c.DataDropped++
 			return nil
 		}
 		last := tcp.Flags&packet.FlagPSH != 0 && len(payload) > 0 && payload[len(payload)-1] == closeMarker
 		work := c.workFactory(fs.tenant, payload, c.Eng.Now(), last)
-		c.Devices[fs.device].NS.DeliverData(fs.conn, work)
+		c.Devices[fs.device].NS.DeliverData(conn, work)
 		if last {
 			delete(c.flows, k)
 		}

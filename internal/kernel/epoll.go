@@ -40,26 +40,39 @@ type Event struct {
 	Sock *Socket
 }
 
-// watch ties one epoll instance to one socket. It doubles as the socket
-// wait-queue entry (order in Socket.watchers is the wait-queue order) and as
-// the epoll interest-list entry.
+// delivery is one scheduled wait completion. Immediate/zero-timeout waits
+// carry their already-collected batch; wake-path deliveries collect at fire
+// time (another worker may drain the sockets first — the spurious wakeup).
+type delivery struct {
+	fn   func([]Event)
+	evs  []Event
+	max  int
+	wake bool
+}
+
+// watch ties one epoll instance to one socket. It is simultaneously the
+// socket wait-queue entry (prev/next — list position is the wait-queue order
+// the wakeup disciplines walk) and the epoll ready-list entry
+// (readyPrev/readyNext), so registration, deregistration, wakeup walks, and
+// ready-list removal are all O(1) pointer splices. Watches are pooled on the
+// NetStack; gen is bumped on release so the fuzz harness can detect a stale
+// handle surviving recycling.
 type watch struct {
-	ep      *Epoll
-	sock    *Socket
-	inReady bool
+	ep   *Epoll
+	sock *Socket
 	// et marks edge-triggered registration (EPOLLET): the watch is armed
 	// only by readiness *edges* (socketReady events); once collected it
 	// leaves the ready list even if data remains, so the worker must drain
 	// completely — the discipline whose failure mode is the worker hang of
 	// Appendix C case 1.
-	et bool
-}
+	et      bool
+	inReady bool
+	gen     uint64
 
-// waiter represents a worker blocked in an epoll wait.
-type waiter struct {
-	maxEvents int
-	fn        func([]Event)
-	timer     sim.Timer
+	// Socket wait-queue links (Socket.watchHead/watchTail).
+	prev, next *watch
+	// Epoll ready-list links (Epoll.readyHead/readyTail).
+	readyPrev, readyNext *watch
 }
 
 // Epoll simulates one epoll instance, owned by exactly one worker (the
@@ -69,10 +82,31 @@ type waiter struct {
 type Epoll struct {
 	ID int
 
-	ns        *NetStack
-	interest  map[*Socket]*watch
-	readyList []*watch
-	waiter    *waiter
+	ns       *NetStack
+	interest map[*Socket]*watch
+	// Ready list: intrusive FIFO of watches with pending readiness.
+	readyHead *watch
+	readyTail *watch
+
+	// The blocked waiter, embedded (one Wait is outstanding at a time, so
+	// no separate waiter object is needed).
+	waiting bool
+	wMax    int
+	wFn     func([]Event)
+	wTimer  sim.Timer
+
+	// Pre-bound trampolines (bound once at creation: binding a method value
+	// per call allocates) and the pending-delivery queue they drain. Each
+	// scheduled trampoline event corresponds to exactly one queue entry,
+	// and same-time engine events fire FIFO, so deliveries fire in
+	// schedule order — several can be outstanding at once (a callback
+	// re-entering Wait immediately, or driver code issuing nonblocking
+	// Waits back to back). The queue is head-indexed and reused, so
+	// steady-state scheduling is allocation-free.
+	deliverFn func()
+	timeoutFn func()
+	pendQ     []delivery
+	pendQHead int
 
 	// evBuf / emitBuf back the batch returned by collect and its LT
 	// requeue scratch. One wait per instance is outstanding at a time, so
@@ -107,7 +141,10 @@ func (ep *Epoll) add(s *Socket, et bool) {
 	if _, dup := ep.interest[s]; dup {
 		panic(fmt.Sprintf("kernel: epoll %d already watches socket %d", ep.ID, s.ID))
 	}
-	w := &watch{ep: ep, sock: s, et: et}
+	w := ep.ns.newWatch()
+	w.ep = ep
+	w.sock = s
+	w.et = et
 	ep.interest[s] = w
 	s.addWatch(w)
 	if s.ready() {
@@ -123,25 +160,45 @@ func (ep *Epoll) Del(s *Socket) {
 	}
 	delete(ep.interest, s)
 	s.removeWatch(w)
-	if w.inReady {
-		for i, x := range ep.readyList {
-			if x == w {
-				ep.readyList = append(ep.readyList[:i], ep.readyList[i+1:]...)
-				break
-			}
-		}
-		w.inReady = false
-	}
+	ep.readyRemove(w)
+	ep.ns.releaseWatch(w)
 }
 
 // Watches returns the number of sockets in the interest list.
 func (ep *Epoll) Watches() int { return len(ep.interest) }
 
 func (ep *Epoll) markReady(w *watch) {
-	if !w.inReady {
-		w.inReady = true
-		ep.readyList = append(ep.readyList, w)
+	if w.inReady {
+		return
 	}
+	w.inReady = true
+	w.readyNext = nil
+	w.readyPrev = ep.readyTail
+	if ep.readyTail != nil {
+		ep.readyTail.readyNext = w
+	} else {
+		ep.readyHead = w
+	}
+	ep.readyTail = w
+}
+
+// readyRemove unlinks w from the ready list if present. O(1).
+func (ep *Epoll) readyRemove(w *watch) {
+	if !w.inReady {
+		return
+	}
+	w.inReady = false
+	if w.readyPrev != nil {
+		w.readyPrev.readyNext = w.readyNext
+	} else {
+		ep.readyHead = w.readyNext
+	}
+	if w.readyNext != nil {
+		w.readyNext.readyPrev = w.readyPrev
+	} else {
+		ep.readyTail = w.readyPrev
+	}
+	w.readyPrev, w.readyNext = nil, nil
 }
 
 // collect drains up to max events from ready sockets (level-triggered: a
@@ -152,21 +209,18 @@ func (ep *Epoll) collect(max int) []Event {
 	}
 	evs := ep.evBuf[:0]
 	emitted := ep.emitBuf[:0]
-	rest := ep.readyList[:0]
-	for _, w := range ep.readyList {
-		if len(evs) >= max {
-			rest = append(rest, w)
-			continue
-		}
+	for w := ep.readyHead; w != nil && len(evs) < max; {
+		next := w.readyNext
 		s := w.sock
 		if !s.ready() {
-			w.inReady = false
+			ep.readyRemove(w)
+			w = next
 			continue
 		}
 		switch {
 		case s.Listening:
 			evs = append(evs, Event{Kind: EvAccept, Sock: s})
-		case len(s.pending) > 0:
+		case s.PendingData() > 0:
 			evs = append(evs, Event{Kind: EvReadable, Sock: s})
 		default: // hup with no pending data
 			evs = append(evs, Event{Kind: EvHangup, Sock: s})
@@ -174,15 +228,19 @@ func (ep *Epoll) collect(max int) []Event {
 		if w.et {
 			// Edge-triggered: collected once per edge; the socket drops off
 			// the ready list even if data remains.
-			w.inReady = false
-			continue
+			ep.readyRemove(w)
+		} else {
+			emitted = append(emitted, w)
 		}
-		emitted = append(emitted, w)
+		w = next
 	}
 	// Level-triggered: serviced sockets stay on the list but rotate to the
 	// tail (as Linux requeues LT fds) so unserviced ready sockets are not
 	// starved when batches are capped by maxEvents.
-	ep.readyList = append(rest, emitted...)
+	for _, w := range emitted {
+		ep.readyRemove(w)
+		ep.markReady(w)
+	}
 	ep.evBuf = evs
 	ep.emitBuf = emitted[:0]
 	return evs
@@ -195,7 +253,7 @@ func (ep *Epoll) collect(max int) []Event {
 // is only valid until the next Wait or Kick; callers that retain events
 // across waits must copy them.
 func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
-	if ep.waiter != nil {
+	if ep.waiting {
 		panic(fmt.Sprintf("kernel: epoll %d has a Wait outstanding", ep.ID))
 	}
 	ep.LastBlockStartNS = ep.ns.eng.Now()
@@ -208,7 +266,7 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 		ep.tel.Residency.Observe(0)
 		now := ep.ns.eng.Now()
 		ep.tr.Wakeup(now, now, len(evs), false)
-		ep.ns.eng.At(now, func() { fn(evs) })
+		ep.schedule(delivery{fn: fn, evs: evs})
 		return
 	}
 	if timeout == 0 {
@@ -217,32 +275,79 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 		ep.tel.Residency.Observe(0)
 		now := ep.ns.eng.Now()
 		ep.tr.Wakeup(now, now, 0, true)
-		ep.ns.eng.At(now, func() { fn(nil) })
+		ep.schedule(delivery{fn: fn})
 		return
 	}
 
-	w := &waiter{maxEvents: maxEvents, fn: fn}
-	ep.waiter = w
+	ep.waiting = true
+	ep.wMax = maxEvents
+	ep.wFn = fn
 	if timeout > 0 {
-		w.timer = ep.ns.eng.After(timeout, func() {
-			if ep.waiter != w {
-				return
-			}
-			ep.waiter = nil
-			ep.Waits++
-			ep.Timeouts++
-			ep.tel.Wakeups.Inc()
-			ep.tel.Timeouts.Inc()
-			ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
-			ep.tr.Wakeup(ep.LastBlockStartNS, ep.ns.eng.Now(), 0, true)
-			fn(nil)
-		})
+		ep.wTimer = ep.ns.eng.After(timeout, ep.timeoutFn)
 	}
+}
+
+// schedule enqueues a delivery and arms the trampoline for it.
+func (ep *Epoll) schedule(d delivery) {
+	if len(ep.pendQ) == cap(ep.pendQ) && ep.pendQHead > 0 {
+		n := copy(ep.pendQ, ep.pendQ[ep.pendQHead:])
+		for i := n; i < len(ep.pendQ); i++ {
+			ep.pendQ[i] = delivery{}
+		}
+		ep.pendQ = ep.pendQ[:n]
+		ep.pendQHead = 0
+	}
+	ep.pendQ = append(ep.pendQ, d)
+	ep.ns.eng.At(ep.ns.eng.Now(), ep.deliverFn)
+}
+
+// deliver fires the oldest scheduled delivery.
+func (ep *Epoll) deliver() {
+	d := ep.pendQ[ep.pendQHead]
+	ep.pendQ[ep.pendQHead] = delivery{}
+	ep.pendQHead++
+	if ep.pendQHead == len(ep.pendQ) {
+		ep.pendQ = ep.pendQ[:0]
+		ep.pendQHead = 0
+	}
+	if !d.wake {
+		d.fn(d.evs)
+		return
+	}
+	evs := ep.collect(d.max)
+	ep.Waits++
+	ep.EventsDelivered += uint64(len(evs))
+	ep.tel.Wakeups.Inc()
+	ep.tel.Events.Add(uint64(len(evs)))
+	ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
+	ep.tr.Wakeup(ep.LastBlockStartNS, ep.ns.eng.Now(), len(evs), false)
+	if len(evs) == 0 {
+		ep.SpuriousWakeups++
+		ep.tel.Spurious.Inc()
+	}
+	d.fn(evs)
+}
+
+// onTimeout fires when a blocking Wait's timeout lapses with no events.
+func (ep *Epoll) onTimeout() {
+	if !ep.waiting {
+		return
+	}
+	ep.waiting = false
+	fn := ep.wFn
+	ep.wFn = nil
+	ep.Waits++
+	ep.Timeouts++
+	ep.tel.Wakeups.Inc()
+	ep.tel.Timeouts.Inc()
+	ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
+	ep.tr.Wakeup(ep.LastBlockStartNS, ep.ns.eng.Now(), 0, true)
+	fn(nil)
 }
 
 // Blocked reports whether the owning worker is blocked in a Wait — the
 // "idle" test the exclusive wakeup walk applies (§2.2, Fig. A2).
-func (ep *Epoll) Blocked() bool { return ep.waiter != nil }
+func (ep *Epoll) Blocked() bool { return ep.waiting }
 
 // Close tears the instance down, as the kernel does when a process dies
 // with an epoll fd open: the outstanding waiter (if any) is discarded
@@ -251,16 +356,18 @@ func (ep *Epoll) Blocked() bool { return ep.waiter != nil }
 // A closed instance must not be reused; crashed workers build a new one
 // on restart.
 func (ep *Epoll) Close() {
-	if w := ep.waiter; w != nil {
-		w.timer.Cancel()
-		ep.waiter = nil
+	if ep.waiting {
+		ep.waiting = false
+		ep.wFn = nil
+		ep.wTimer.Cancel()
 	}
 	for s, w := range ep.interest {
 		s.removeWatch(w)
-		w.inReady = false
+		ep.readyRemove(w)
 		delete(ep.interest, s)
+		ep.ns.releaseWatch(w)
 	}
-	ep.readyList = ep.readyList[:0]
+	ep.readyHead, ep.readyTail = nil, nil
 }
 
 // Kick wakes the blocked waiter with whatever is ready (possibly nothing) —
@@ -271,26 +378,15 @@ func (ep *Epoll) Kick() { ep.wake() }
 // wake unblocks the waiter, delivering whatever is ready at delivery time.
 // If another worker drained the sockets first, the wakeup is spurious and
 // the callback receives an empty batch (counted: this is the thundering
-// herd's wasted CPU).
+// herd's wasted CPU). The waiting flag is cleared synchronously — the
+// exclusive wakeup walk relies on it to skip already-woken instances.
 func (ep *Epoll) wake() {
-	w := ep.waiter
-	if w == nil {
+	if !ep.waiting {
 		return
 	}
-	ep.waiter = nil
-	w.timer.Cancel()
-	ep.ns.eng.At(ep.ns.eng.Now(), func() {
-		evs := ep.collect(w.maxEvents)
-		ep.Waits++
-		ep.EventsDelivered += uint64(len(evs))
-		ep.tel.Wakeups.Inc()
-		ep.tel.Events.Add(uint64(len(evs)))
-		ep.tel.Residency.Observe(ep.ns.eng.Now() - ep.LastBlockStartNS)
-		ep.tr.Wakeup(ep.LastBlockStartNS, ep.ns.eng.Now(), len(evs), false)
-		if len(evs) == 0 {
-			ep.SpuriousWakeups++
-			ep.tel.Spurious.Inc()
-		}
-		w.fn(evs)
-	})
+	ep.waiting = false
+	ep.wTimer.Cancel()
+	fn := ep.wFn
+	ep.wFn = nil
+	ep.schedule(delivery{fn: fn, max: ep.wMax, wake: true})
 }

@@ -49,6 +49,11 @@ func (m WakeMode) String() string {
 
 // NetStack owns all sockets, ports, and epoll instances of one simulated
 // machine, and implements connection arrival, data delivery, and wakeups.
+//
+// The per-connection fast path is allocation-free in steady state: Conn
+// objects (paired with their connection Sockets) and epoll watches are
+// pooled and recycled on close, so a long run's allocation count is bounded
+// by peak concurrency, not connection count (see docs/PERF.md).
 type NetStack struct {
 	// Mode is the wakeup discipline for shared listening sockets.
 	Mode WakeMode
@@ -59,6 +64,14 @@ type NetStack struct {
 	nextSockID  int
 	nextConnID  uint64
 	nextEpollID int
+
+	// Free lists. A pooled Conn keeps its paired connection Socket (and
+	// that socket's queue backing arrays) across incarnations; a fresh
+	// ConnID is assigned on reuse, never on release, so handles held
+	// across the recycle boundary (ConnRef) can detect it while
+	// same-event post-close reads still see the old connection intact.
+	connFree  []*Conn
+	watchFree []*watch
 
 	// SynDrops counts connections refused for lack of a listener or
 	// accept-queue overflow.
@@ -99,6 +112,30 @@ func (ns *NetStack) newSocket(port uint16, listening bool, backlog int) *Socket 
 		acceptCap: backlog,
 		ns:        ns,
 	}
+}
+
+// newWatch pops a pooled watch or allocates one. All fields except gen are
+// reset by the caller.
+func (ns *NetStack) newWatch() *watch {
+	if n := len(ns.watchFree); n > 0 {
+		w := ns.watchFree[n-1]
+		ns.watchFree[n-1] = nil
+		ns.watchFree = ns.watchFree[:n-1]
+		return w
+	}
+	return &watch{}
+}
+
+// releaseWatch returns an unhooked watch to the pool, bumping its generation
+// so stale-handle checks can detect reuse. The caller must already have
+// unlinked it from its socket wait queue and epoll ready list.
+func (ns *NetStack) releaseWatch(w *watch) {
+	w.ep = nil
+	w.sock = nil
+	w.et = false
+	w.inReady = false
+	w.gen++
+	ns.watchFree = append(ns.watchFree, w)
 }
 
 // ListenShared binds one listening socket to port, to be registered with
@@ -151,7 +188,12 @@ func (ns *NetStack) SharedSocket(port uint16) *Socket { return ns.shared[port] }
 // NewEpoll creates an epoll instance (epoll_create).
 func (ns *NetStack) NewEpoll() *Epoll {
 	ns.nextEpollID++
-	return &Epoll{ID: ns.nextEpollID, ns: ns, interest: make(map[*Socket]*watch)}
+	ep := &Epoll{ID: ns.nextEpollID, ns: ns, interest: make(map[*Socket]*watch)}
+	// Bind the delivery trampolines once: method values allocate per
+	// evaluation, and these are scheduled on every wakeup.
+	ep.deliverFn = ep.deliver
+	ep.timeoutFn = ep.onTimeout
+	return ep
 }
 
 // DeliverSYN completes a handshake for a connection to tuple.DstPort: the
@@ -174,21 +216,46 @@ func (ns *NetStack) DeliverSYN(tuple FourTuple, meta any) (*Conn, bool) {
 	}
 
 	ns.nextConnID++
-	c := &Conn{
-		ID:            ConnID(ns.nextConnID),
-		Tuple:         tuple,
-		Hash:          tuple.Hash(),
-		EstablishedNS: ns.eng.Now(),
-		AcceptedNS:    -1,
-		Meta:          meta,
+	var c *Conn
+	if n := len(ns.connFree); n > 0 {
+		// Reincarnate a pooled pair. ID sequences match the allocating
+		// path: the conn ID above, then a fresh socket ID.
+		c = ns.connFree[n-1]
+		ns.connFree[n-1] = nil
+		ns.connFree = ns.connFree[:n-1]
+		cs := c.sock
+		ns.nextSockID++
+		cs.ID = ns.nextSockID
+		cs.Port = tuple.DstPort
+		cs.Drops = 0
+		cs.Accepted = 0
+		for i := cs.pendHead; i < len(cs.pending); i++ {
+			cs.pending[i] = nil
+		}
+		cs.pending = cs.pending[:0]
+		cs.pendHead = 0
+		cs.hup = false
+		cs.closed = false
+		cs.owned = false
+	} else {
+		c = &Conn{}
+		cs := ns.newSocket(tuple.DstPort, false, 0)
+		cs.conn = c
+		c.sock = cs
 	}
-	cs := ns.newSocket(tuple.DstPort, false, 0)
-	cs.conn = c
-	c.sock = cs
+	c.ID = ConnID(ns.nextConnID)
+	c.Tuple = tuple
+	c.Hash = tuple.Hash()
+	c.EstablishedNS = ns.eng.Now()
+	c.AcceptedNS = -1
+	c.Meta = meta
 
 	if !target.enqueueConn(c) {
 		ns.SynDrops++
 		ns.tr.ConnDropped(ns.eng.Now(), via, true)
+		// Never exposed; recycle immediately (the conn ID stays consumed,
+		// as it was before pooling).
+		ns.connFree = append(ns.connFree, c)
 		return nil, false
 	}
 	ns.ConnsEstablished++
@@ -204,7 +271,7 @@ func (ns *NetStack) DeliverData(c *Conn, payload any) {
 	if s.closed {
 		return
 	}
-	s.pending = append(s.pending, payload)
+	s.pushData(payload)
 	ns.socketReady(s)
 }
 
@@ -220,36 +287,44 @@ func (ns *NetStack) DeliverFIN(c *Conn) {
 
 // CloseSocket closes a socket from the worker side, deregistering it from
 // every epoll instance watching it (close(2) removes epoll registrations).
+// A closed connection socket returns to the pool with its Conn; its fields
+// stay intact until a later handshake reincarnates the pair under a fresh
+// ConnID, so reads within the closing event chain still see the old
+// connection (cross-event holders must revalidate via ConnRef).
 func (ns *NetStack) CloseSocket(s *Socket) {
 	if s.closed {
 		return
 	}
 	s.closed = true
-	for len(s.watchers) > 0 {
-		s.watchers[0].ep.Del(s)
+	for s.watchHead != nil {
+		s.watchHead.ep.Del(s)
 	}
-	if s.Listening && s.group == nil {
-		delete(ns.shared, s.Port)
+	if s.Listening {
+		if s.group == nil {
+			delete(ns.shared, s.Port)
+		}
+	} else if s.conn != nil {
+		ns.connFree = append(ns.connFree, s.conn)
 	}
 }
 
 // socketReady records readiness in every watching epoll and applies the
-// wakeup discipline.
+// wakeup discipline. The wait queue is walked in place: wake() only
+// schedules delivery (it never relinks wait-queue entries synchronously),
+// so no snapshot of the watcher list is needed.
 func (ns *NetStack) socketReady(s *Socket) {
-	for _, w := range s.watchers {
+	for w := s.watchHead; w != nil; w = w.next {
 		w.ep.markReady(w)
 	}
 	switch ns.Mode {
 	case WakeHerd:
 		ns.tel.Herd.Inc()
-		// Snapshot: wakes may mutate nothing here, but stay safe.
-		ws := append([]*watch(nil), s.watchers...)
-		for _, w := range ws {
+		for w := s.watchHead; w != nil; w = w.next {
 			w.ep.wake()
 		}
 	case WakeExclusiveLIFO:
 		ns.tel.LIFO.Inc()
-		for _, w := range s.watchers {
+		for w := s.watchHead; w != nil; w = w.next {
 			if w.ep.Blocked() {
 				w.ep.wake()
 				return
@@ -257,7 +332,7 @@ func (ns *NetStack) socketReady(s *Socket) {
 		}
 	case WakeExclusiveRR:
 		ns.tel.RR.Inc()
-		for _, w := range s.watchers {
+		for w := s.watchHead; w != nil; w = w.next {
 			if w.ep.Blocked() {
 				w.ep.wake()
 				s.moveWatchToTail(w)
@@ -266,8 +341,8 @@ func (ns *NetStack) socketReady(s *Socket) {
 		}
 	case WakeExclusiveFIFO:
 		ns.tel.FIFO.Inc()
-		for i := len(s.watchers) - 1; i >= 0; i-- {
-			if w := s.watchers[i]; w.ep.Blocked() {
+		for w := s.watchTail; w != nil; w = w.prev {
+			if w.ep.Blocked() {
 				w.ep.wake()
 				return
 			}

@@ -2,12 +2,19 @@ package kernel
 
 import "fmt"
 
-// ConnID identifies a simulated connection.
+// ConnID identifies a simulated connection. IDs are never reused: a Conn
+// object recycled through the stack's pool gets a fresh ID, so the ID doubles
+// as the object's generation stamp (see ConnRef).
 type ConnID uint64
 
 // Conn is an established TCP connection. It is created when the simulated
 // three-way handshake completes (SYN delivery in this model) and lives until
-// the worker closes its socket.
+// the worker closes its socket. Conn objects (with their paired connection
+// Sockets) are pooled: after close they return to the NetStack's free list
+// and a later handshake may reincarnate them under a fresh ID. Holders that
+// retain a *Conn across virtual-time events must hold a ConnRef instead and
+// re-validate before use; a bare *Conn is only safe within the event that
+// obtained it.
 type Conn struct {
 	ID    ConnID
 	Tuple FourTuple
@@ -29,9 +36,49 @@ type Conn struct {
 // real accept() returns an fd for an already-existing kernel socket.
 func (c *Conn) Sock() *Socket { return c.sock }
 
+// Ref returns a generation-checked weak handle to the connection.
+func (c *Conn) Ref() ConnRef { return ConnRef{c: c, id: c.ID} }
+
+// ConnRef is a weak, generation-checked handle to a Conn — the pooled
+// analogue of sim.Timer for timer events. It is a value: copying is free,
+// and a handle that outlives its connection is harmless. Because ConnIDs
+// are never reused, Get detects when the underlying object has been
+// recycled into a different connection and returns nil instead of the
+// impostor. Workload generators and other cross-event holders guard with
+//
+//	c := ref.Get()
+//	if c == nil || c.Sock().Closed() { ... connection is gone ... }
+//
+// which behaves exactly as the pre-pool `conn.Sock().Closed()` check did:
+// closed-but-not-yet-recycled connections still resolve (their fields are
+// left intact until reuse), recycled ones do not.
+type ConnRef struct {
+	c  *Conn
+	id ConnID
+}
+
+// Get returns the connection if the handle is still current, or nil if the
+// object has been recycled into a different connection (or the handle is
+// zero).
+func (r ConnRef) Get() *Conn {
+	if r.c == nil || r.c.ID != r.id {
+		return nil
+	}
+	return r.c
+}
+
+// ID returns the referenced connection's ID — the ID captured at Ref time,
+// valid even after the object has been recycled.
+func (r ConnRef) ID() ConnID { return r.id }
+
 // Socket is a simulated kernel socket: either a listening socket with an
 // accept queue, or an established connection socket with a pending-data
 // queue. Epoll instances register on sockets via watches.
+//
+// Connection sockets are pooled together with their Conn (one alloc pair per
+// peak-concurrent connection); both queues are head-indexed slices reused
+// across incarnations, so the steady-state connection lifecycle allocates
+// nothing.
 type Socket struct {
 	ID        int
 	Port      uint16
@@ -43,7 +90,10 @@ type Socket struct {
 	tel      QueueInstruments
 
 	// Listening sockets: completed connections waiting for accept().
+	// acceptQ[qhead:] are the queued connections; popped slots are nilled
+	// and the backing array is reused (compacted in place when full).
 	acceptQ   []*Conn
+	qhead     int
 	acceptCap int
 	// Drops counts connections dropped on accept-queue overflow (SYN flood
 	// / overload behaviour).
@@ -51,16 +101,25 @@ type Socket struct {
 	// Accepted counts connections dequeued by accept().
 	Accepted uint64
 
-	// Connection sockets.
-	conn    *Conn
-	pending []any // arrived-but-unread request payloads
-	hup     bool  // peer closed
-	closed  bool
+	// Connection sockets. pending is head-indexed like acceptQ.
+	conn     *Conn
+	pending  []any // arrived-but-unread request payloads
+	pendHead int
+	hup      bool // peer closed
+	closed   bool
 
-	// watchers are epoll registrations in wait-queue order: index 0 is the
-	// list head. epoll_ctl prepends (head insertion), which is what gives
-	// EPOLLEXCLUSIVE its LIFO bias (§2.2).
-	watchers []*watch
+	// Owner is an opaque (tag, position) pair the accepting application
+	// stores on the socket — per-worker conn-table bookkeeping without a
+	// side map. Cleared on recycle.
+	ownerTag int32
+	ownerPos int32
+	owned    bool
+
+	// The socket wait queue: an intrusive doubly-linked list of epoll
+	// registrations. watchHead is the list head; epoll_ctl prepends (head
+	// insertion), which is what gives EPOLLEXCLUSIVE its LIFO bias (§2.2).
+	watchHead *watch
+	watchTail *watch
 }
 
 // Conn returns the connection of a connection socket (nil for listeners).
@@ -71,7 +130,7 @@ func (s *Socket) Conn() *Conn { return s.conn }
 func (s *Socket) GroupIndex() int { return s.groupIdx }
 
 // QueueLen returns the current accept-queue depth (listening sockets).
-func (s *Socket) QueueLen() int { return len(s.acceptQ) }
+func (s *Socket) QueueLen() int { return len(s.acceptQ) - s.qhead }
 
 // AcceptCap returns the accept-queue capacity (listening sockets).
 func (s *Socket) AcceptCap() int { return s.acceptCap }
@@ -90,10 +149,21 @@ func (s *Socket) SetAcceptCap(n int) {
 }
 
 // PendingData returns the number of unread payloads (connection sockets).
-func (s *Socket) PendingData() int { return len(s.pending) }
+func (s *Socket) PendingData() int { return len(s.pending) - s.pendHead }
 
 // Closed reports whether the worker has closed this socket.
 func (s *Socket) Closed() bool { return s.closed }
+
+// SetOwner stamps the application's (tag, position) bookkeeping on the
+// socket — in the LB, the accepting worker's ID and the socket's index in
+// that worker's connection table.
+func (s *Socket) SetOwner(tag, pos int32) { s.ownerTag, s.ownerPos, s.owned = tag, pos, true }
+
+// ClearOwner removes the owner stamp.
+func (s *Socket) ClearOwner() { s.owned = false }
+
+// Owner returns the owner stamp, ok=false if none is set.
+func (s *Socket) Owner() (tag, pos int32, ok bool) { return s.ownerTag, s.ownerPos, s.owned }
 
 // ready reports level-triggered readiness.
 func (s *Socket) ready() bool {
@@ -101,9 +171,9 @@ func (s *Socket) ready() bool {
 		return false
 	}
 	if s.Listening {
-		return len(s.acceptQ) > 0
+		return s.QueueLen() > 0
 	}
-	return len(s.pending) > 0 || s.hup
+	return s.PendingData() > 0 || s.hup
 }
 
 // Accept dequeues the oldest completed connection, returning its connection
@@ -113,11 +183,16 @@ func (s *Socket) Accept() (*Conn, bool) {
 	if !s.Listening {
 		panic(fmt.Sprintf("kernel: Accept on non-listening socket %d", s.ID))
 	}
-	if len(s.acceptQ) == 0 {
+	if s.qhead == len(s.acceptQ) {
 		return nil, false
 	}
-	c := s.acceptQ[0]
-	s.acceptQ = s.acceptQ[1:]
+	c := s.acceptQ[s.qhead]
+	s.acceptQ[s.qhead] = nil
+	s.qhead++
+	if s.qhead == len(s.acceptQ) {
+		s.acceptQ = s.acceptQ[:0]
+		s.qhead = 0
+	}
 	s.Accepted++
 	c.AcceptedNS = s.ns.eng.Now()
 	return c, true
@@ -125,12 +200,31 @@ func (s *Socket) Accept() (*Conn, bool) {
 
 // PopData dequeues one pending payload from a connection socket.
 func (s *Socket) PopData() (any, bool) {
-	if len(s.pending) == 0 {
+	if s.pendHead == len(s.pending) {
 		return nil, false
 	}
-	p := s.pending[0]
-	s.pending = s.pending[1:]
+	p := s.pending[s.pendHead]
+	s.pending[s.pendHead] = nil
+	s.pendHead++
+	if s.pendHead == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendHead = 0
+	}
 	return p, true
+}
+
+// pushData appends a payload, compacting the drained head space first when
+// the backing array is full so steady-state delivery never grows it.
+func (s *Socket) pushData(p any) {
+	if len(s.pending) == cap(s.pending) && s.pendHead > 0 {
+		n := copy(s.pending, s.pending[s.pendHead:])
+		for i := n; i < len(s.pending); i++ {
+			s.pending[i] = nil
+		}
+		s.pending = s.pending[:n]
+		s.pendHead = 0
+	}
+	s.pending = append(s.pending, p)
 }
 
 // Hup reports whether the peer has closed the connection.
@@ -142,35 +236,69 @@ func (s *Socket) enqueueConn(c *Conn) bool {
 	if s.closed {
 		return false
 	}
-	if len(s.acceptQ) >= s.acceptCap {
+	if s.QueueLen() >= s.acceptCap {
 		s.Drops++
 		s.tel.Dropped.Inc()
 		return false
 	}
+	if len(s.acceptQ) == cap(s.acceptQ) && s.qhead > 0 {
+		n := copy(s.acceptQ, s.acceptQ[s.qhead:])
+		for i := n; i < len(s.acceptQ); i++ {
+			s.acceptQ[i] = nil
+		}
+		s.acceptQ = s.acceptQ[:n]
+		s.qhead = 0
+	}
 	s.acceptQ = append(s.acceptQ, c)
 	s.tel.Enqueued.Inc()
-	s.tel.DepthPeak.SetMax(int64(len(s.acceptQ)))
+	s.tel.DepthPeak.SetMax(int64(s.QueueLen()))
 	s.ns.socketReady(s)
 	return true
 }
 
+// addWatch prepends w to the wait queue, as epoll_ctl does on the socket
+// wait queue. O(1), allocation-free.
 func (s *Socket) addWatch(w *watch) {
-	// Head insertion, as epoll_ctl does on the socket wait queue.
-	s.watchers = append([]*watch{w}, s.watchers...)
+	w.prev = nil
+	w.next = s.watchHead
+	if s.watchHead != nil {
+		s.watchHead.prev = w
+	} else {
+		s.watchTail = w
+	}
+	s.watchHead = w
 }
 
+// removeWatch unlinks w from the wait queue. O(1).
 func (s *Socket) removeWatch(w *watch) {
-	for i, x := range s.watchers {
-		if x == w {
-			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
-			return
-		}
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else if s.watchHead == w {
+		s.watchHead = w.next
+	} else {
+		return // not on this list
 	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		s.watchTail = w.prev
+	}
+	w.prev, w.next = nil, nil
 }
 
 // moveWatchToTail implements the epoll-rr discipline: after a wakeup the
 // woken watcher is demoted to the tail of the wait queue.
 func (s *Socket) moveWatchToTail(w *watch) {
+	if s.watchTail == w {
+		return
+	}
 	s.removeWatch(w)
-	s.watchers = append(s.watchers, w)
+	w.next = nil
+	w.prev = s.watchTail
+	if s.watchTail != nil {
+		s.watchTail.next = w
+	} else {
+		s.watchHead = w
+	}
+	s.watchTail = w
 }

@@ -15,10 +15,15 @@ import (
 type dispatcher struct {
 	lb *LB
 	w  *Worker // the dispatcher's own core (accounting + epoll)
+
+	// onWakeFn is the pre-bound onWake method value (binding per Wait
+	// call allocates on every loop iteration).
+	onWakeFn func([]kernel.Event)
 }
 
 func newDispatcher(lb *LB) *dispatcher {
 	d := &dispatcher{lb: lb, w: newWorker(lb, -1, NopHook{})}
+	d.onWakeFn = d.onWake
 	// The dispatcher core traces on the track one past the executors (the
 	// kernel track is reserved for the netstack).
 	d.w.tr = lb.Cfg.Tracer.WorkerTrace(lb.Cfg.Workers)
@@ -36,7 +41,7 @@ func (d *dispatcher) loop() {
 		return
 	}
 	d.w.waitStart = d.lb.Eng.Now()
-	d.w.ep.Wait(d.lb.Cfg.Hermes.MaxEvents, d.lb.Cfg.Hermes.EpollTimeout, d.onWake)
+	d.w.ep.Wait(d.lb.Cfg.Hermes.MaxEvents, d.lb.Cfg.Hermes.EpollTimeout, d.onWakeFn)
 }
 
 func (d *dispatcher) onWake(evs []kernel.Event) {
@@ -80,15 +85,18 @@ func (d *dispatcher) handle(ev kernel.Event) time.Duration {
 		}
 		work := payload.(Work)
 		sock := ev.Sock
+		// The executor's completion fires later; capture a checked ref now
+		// in case the connection is reset and recycled meanwhile.
+		connRef := sock.Conn().Ref()
 		ex := d.leastLoaded()
 		ex.pushJob(work.Cost, func() {
 			ex.Completed++
 			// The job ran contiguously for work.Cost ending now, so the
 			// serve span's start is recoverable without threading it through.
 			end := d.lb.Eng.Now()
-			ex.tr.Serve(uint64(sock.Conn().ID), work.ArrivalNS, end-int64(work.Cost), end, work.Probe)
-			d.lb.recordCompletion(ex, sock.Conn(), work)
-			if work.Close {
+			ex.tr.Serve(uint64(connRef.ID()), work.ArrivalNS, end-int64(work.Cost), end, work.Probe)
+			d.lb.recordCompletion(ex, connRef, work)
+			if work.Close && connRef.Get() != nil {
 				d.w.closeConn(sock)
 			}
 		})

@@ -145,7 +145,7 @@ func TestShedBreaksEdgeTriggeredTrap(t *testing.T) {
 		t.Fatal(err)
 	}
 	var resets int
-	lb.OnConnReset = func(*kernel.Conn) { resets++ }
+	lb.OnConnReset = func(kernel.ConnRef) { resets++ }
 	lb.Start()
 
 	victim := openConn(t, lb, 1, 8080)

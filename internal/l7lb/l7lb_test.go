@@ -161,7 +161,7 @@ func TestHermesAvoidsHungWorkerReuseportDoesNot(t *testing.T) {
 				sendReq(lb, c, 5*time.Second, false)
 				eng.After(2*time.Millisecond, func() {
 					for _, w := range lb.Workers {
-						if _, owns := w.connIdx[c.Sock()]; owns {
+						if w.OwnsConn(c.Sock()) {
 							victim = w
 						}
 					}
@@ -212,7 +212,7 @@ func TestMaxConnsPerWorkerResets(t *testing.T) {
 		t.Fatal(err)
 	}
 	var resets int
-	lb.OnConnReset = func(*kernel.Conn) { resets++ }
+	lb.OnConnReset = func(kernel.ConnRef) { resets++ }
 	lb.Start()
 	for i := 0; i < 100; i++ {
 		i := i
@@ -267,7 +267,7 @@ func TestCrashDropsConnsAndNotifies(t *testing.T) {
 		t.Fatal(err)
 	}
 	var resets int
-	lb.OnConnReset = func(*kernel.Conn) { resets++ }
+	lb.OnConnReset = func(kernel.ConnRef) { resets++ }
 	lb.Start()
 	for i := 0; i < 40; i++ {
 		i := i
@@ -306,11 +306,11 @@ func TestOnResponseClosedLoop(t *testing.T) {
 	}
 	// Closed loop: each response triggers the next request, 5 total.
 	sent := 0
-	lb.OnResponse = func(conn *kernel.Conn, work Work) {
-		if sent < 5 && !work.Close {
+	lb.OnResponse = func(conn kernel.ConnRef, work Work) {
+		if c := conn.Get(); c != nil && sent < 5 && !work.Close {
 			sent++
 			final := sent == 5
-			sendReq(lb, conn, 10*time.Microsecond, final)
+			sendReq(lb, c, 10*time.Microsecond, final)
 		}
 	}
 	lb.Start()

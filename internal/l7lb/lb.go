@@ -53,11 +53,15 @@ type LB struct {
 	ConnsReset uint64
 
 	// OnResponse, if set, fires at each request completion — closed-loop
-	// clients use it to send their next request.
-	OnResponse func(conn *kernel.Conn, work Work)
+	// clients use it to send their next request. The conn ref must be
+	// revalidated (ConnRef.Get) before use: the connection may have been
+	// reset — and its pooled object recycled — between serve start and
+	// completion.
+	OnResponse func(conn kernel.ConnRef, work Work)
 	// OnConnReset, if set, fires when the LB resets a connection, so the
-	// workload can model client reconnects.
-	OnConnReset func(conn *kernel.Conn)
+	// workload can model client reconnects. The ref's ID is always the
+	// reset connection's ID; Get still resolves within the callback.
+	OnConnReset func(conn kernel.ConnRef)
 	// Guard, if set before Start, attributes hang events to tenants and
 	// quarantines repeat offenders (Appendix C).
 	Guard *TenantGuard
@@ -230,7 +234,7 @@ func (lb *LB) WorkerConnCounts() []int {
 	return out
 }
 
-func (lb *LB) recordCompletion(w *Worker, conn *kernel.Conn, work Work) {
+func (lb *LB) recordCompletion(w *Worker, conn kernel.ConnRef, work Work) {
 	now := lb.Eng.Now()
 	lat := now - work.ArrivalNS
 	if work.Probe {
@@ -264,7 +268,7 @@ func (lb *LB) RegisterProbeSink(fn func(work Work, latencyNS int64)) int32 {
 	return int32(len(lb.probeSinks))
 }
 
-func (lb *LB) notifyReset(conn *kernel.Conn) {
+func (lb *LB) notifyReset(conn kernel.ConnRef) {
 	if lb.OnConnReset != nil {
 		lb.OnConnReset(conn)
 	}

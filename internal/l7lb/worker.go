@@ -40,14 +40,20 @@ type Worker struct {
 	// costMult scales every handled event's CPU cost (slow-worker fault).
 	costMult float64
 
-	conns   []*kernel.Socket
-	connIdx map[*kernel.Socket]int
+	// conns is the worker's connection table. Each owned socket carries an
+	// owner stamp (worker ID, slot index) instead of a side map, so adds
+	// and swap-removes are O(1) with no hashing or per-conn map growth.
+	conns []*kernel.Socket
 
 	listenSocks []*kernel.Socket // accept-mutex: sockets registered while holding
 
 	waitStart    int64
 	batchStart   int64
 	prevSpurious uint64
+
+	// onWakeFn is the pre-bound onWake method value: binding it per Wait
+	// call would allocate on every loop iteration.
+	onWakeFn func([]kernel.Event)
 
 	// Executor state (ModeDispatcher).
 	jobs         []execJob
@@ -102,8 +108,8 @@ func newWorker(lb *LB, id int, hook Hook) *Worker {
 		hook:     hook,
 		costMult: 1,
 		conns:    make([]*kernel.Socket, 0, hint),
-		connIdx:  make(map[*kernel.Socket]int, hint),
 	}
+	w.onWakeFn = w.onWake
 	if lb.Cfg.DetailedStats {
 		w.EventsPerWait = &stats.Sample{}
 		w.BatchProcNS = &stats.Sample{}
@@ -155,8 +161,8 @@ func (w *Worker) SampleConn() *kernel.Socket {
 
 // OwnsConn reports whether this worker holds the given connection socket.
 func (w *Worker) OwnsConn(s *kernel.Socket) bool {
-	_, ok := w.connIdx[s]
-	return ok
+	tag, _, ok := s.Owner()
+	return ok && tag == int32(w.ID)
 }
 
 // Crashed reports whether the worker has crashed.
@@ -393,7 +399,7 @@ func (w *Worker) loopEnter() {
 	}
 	w.waitStart = now
 	w.prevSpurious = w.ep.SpuriousWakeups
-	w.ep.Wait(w.lb.Cfg.Hermes.MaxEvents, w.lb.Cfg.Hermes.EpollTimeout, w.onWake)
+	w.ep.Wait(w.lb.Cfg.Hermes.MaxEvents, w.lb.Cfg.Hermes.EpollTimeout, w.onWakeFn)
 }
 
 func (w *Worker) onWake(evs []kernel.Event) {
@@ -490,9 +496,10 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 			w.ResetConns++
 			w.lb.ConnsReset++
 			sock := conn.Sock()
+			ref := conn.Ref()
 			w.lb.NS.CloseSocket(sock)
-			w.tr.Close(uint64(conn.ID), w.lb.Eng.Now(), true)
-			w.lb.notifyReset(conn)
+			w.tr.Close(uint64(ref.ID()), w.lb.Eng.Now(), true)
+			w.lb.notifyReset(ref)
 			return costs.Close, nil
 		}
 		w.addConn(conn.Sock())
@@ -508,6 +515,11 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 		}
 		work := payload.(Work)
 		sock := ev.Sock
+		// The completion below fires after the cost elapses; by then the
+		// connection may have been reset (crash, shed) and its socket
+		// recycled into a different connection, so capture a checked ref
+		// now rather than re-reading sock.Conn() later.
+		connRef := sock.Conn().Ref()
 		serveStart := w.lb.Eng.Now()
 		cost := work.Cost
 		var backendID int
@@ -528,9 +540,9 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 			}
 			w.Completed++
 			w.telServed.Inc()
-			w.tr.Serve(uint64(sock.Conn().ID), work.ArrivalNS, serveStart, w.lb.Eng.Now(), work.Probe)
-			w.lb.recordCompletion(w, sock.Conn(), work)
-			if work.Close {
+			w.tr.Serve(uint64(connRef.ID()), work.ArrivalNS, serveStart, w.lb.Eng.Now(), work.Probe)
+			w.lb.recordCompletion(w, connRef, work)
+			if work.Close && connRef.Get() != nil {
 				w.closeConn(sock)
 			}
 		}
@@ -581,20 +593,21 @@ func (w *Worker) addConn(s *kernel.Socket) {
 	} else {
 		w.ep.Add(s)
 	}
-	w.connIdx[s] = len(w.conns)
+	s.SetOwner(int32(w.ID), int32(len(w.conns)))
 	w.conns = append(w.conns, s)
 }
 
 func (w *Worker) removeConn(s *kernel.Socket) {
-	i, ok := w.connIdx[s]
-	if !ok {
+	tag, pos, ok := s.Owner()
+	if !ok || tag != int32(w.ID) {
 		return
 	}
-	last := len(w.conns) - 1
+	i, last := int(pos), len(w.conns)-1
 	w.conns[i] = w.conns[last]
-	w.connIdx[w.conns[i]] = i
+	w.conns[i].SetOwner(int32(w.ID), int32(i))
+	w.conns[last] = nil
 	w.conns = w.conns[:last]
-	delete(w.connIdx, s)
+	s.ClearOwner()
 }
 
 // closeConn tears down a connection in response to protocol events
@@ -617,14 +630,20 @@ func (w *Worker) resetConn(s *kernel.Socket) {
 	if s.Closed() {
 		return
 	}
-	conn := s.Conn()
+	// Capture the ref before CloseSocket recycles the pair: the ID is
+	// intact until a later handshake reuses the object, which cannot
+	// happen within this event.
+	var ref kernel.ConnRef
+	if c := s.Conn(); c != nil {
+		ref = c.Ref()
+	}
 	w.removeConn(s)
 	w.hook.ConnClosed()
 	w.lb.NS.CloseSocket(s)
-	if conn != nil {
-		w.tr.Close(uint64(conn.ID), w.lb.Eng.Now(), true)
+	if ref.Get() != nil {
+		w.tr.Close(uint64(ref.ID()), w.lb.Eng.Now(), true)
 	}
-	w.lb.notifyReset(conn)
+	w.lb.notifyReset(ref)
 }
 
 // --- accept-mutex mode ---

@@ -152,12 +152,16 @@ func (t *Trace) Replay(lb *l7lb.LB, rate float64) int {
 			if !ok {
 				return
 			}
+			// Hold a checked ref across the scheduled requests: a reset
+			// connection's pooled object may be recycled before they fire.
+			ref := conn.Ref()
 			for r := range c.Requests {
 				req := &c.Requests[r]
 				last := r == len(c.Requests)-1
 				reqAt := lb.Eng.Now() + int64(float64(req.OffsetNS)/rate)
 				lb.Eng.At(reqAt, func() {
-					if conn.Sock().Closed() {
+					conn := ref.Get()
+					if conn == nil || conn.Sock().Closed() {
 						return
 					}
 					lb.NS.DeliverData(conn, l7lb.Work{

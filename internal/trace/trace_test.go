@@ -150,7 +150,7 @@ func TestReplayRateCompressesTime(t *testing.T) {
 			t.Fatal(err)
 		}
 		var last int64
-		lb.OnResponse = func(_ *kernel.Conn, _ l7lb.Work) { last = eng.Now() }
+		lb.OnResponse = func(_ kernel.ConnRef, _ l7lb.Work) { last = eng.Now() }
 		lb.Start()
 		tr.Replay(lb, rate)
 		eng.RunUntil(int64(30 * time.Second))

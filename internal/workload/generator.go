@@ -105,15 +105,19 @@ func (g *Generator) openConn() {
 		reqs = 1
 	}
 	delay := int64(g.spec.FirstReqDelayNS.Sample(g.rng))
-	g.scheduleRequest(conn, port, reqs, 1, g.lb.Eng.Now()+delay)
+	g.scheduleRequest(conn.Ref(), port, reqs, 1, g.lb.Eng.Now()+delay)
 }
 
-func (g *Generator) scheduleRequest(conn *kernel.Conn, port uint16, total, idx int, at int64) {
+// scheduleRequest holds a checked ref, not a bare *Conn: the connection may
+// be reset — and its pooled object recycled into a different connection —
+// before the timer fires.
+func (g *Generator) scheduleRequest(ref kernel.ConnRef, port uint16, total, idx int, at int64) {
 	if at < g.lb.Eng.Now() {
 		at = g.lb.Eng.Now()
 	}
 	g.lb.Eng.At(at, func() {
-		if conn.Sock().Closed() {
+		conn := ref.Get()
+		if conn == nil || conn.Sock().Closed() {
 			g.LiveConns--
 			return
 		}
@@ -133,6 +137,6 @@ func (g *Generator) scheduleRequest(conn *kernel.Conn, port uint16, total, idx i
 			return
 		}
 		gap := int64(g.spec.InterReqNS.Sample(g.rng))
-		g.scheduleRequest(conn, port, total, idx+1, g.lb.Eng.Now()+gap)
+		g.scheduleRequest(ref, port, total, idx+1, g.lb.Eng.Now()+gap)
 	})
 }

@@ -57,7 +57,9 @@ type Surge struct {
 	// RequestsSent counts burst requests delivered.
 	RequestsSent uint64
 
-	conns []*kernel.Conn
+	// conns holds checked refs: the population is retained across virtual
+	// time, and a reset connection's pooled object may be recycled.
+	conns []kernel.ConnRef
 }
 
 // NewSurge builds the surge driver.
@@ -80,7 +82,7 @@ func (s *Surge) Run() {
 			}
 			if conn, ok := s.lb.NS.DeliverSYN(tuple, nil); ok {
 				s.Established++
-				s.conns = append(s.conns, conn)
+				s.conns = append(s.conns, conn.Ref())
 			}
 		})
 	}
@@ -88,17 +90,18 @@ func (s *Surge) Run() {
 }
 
 func (s *Surge) burst() {
-	for _, conn := range s.conns {
-		conn := conn
+	for _, ref := range s.conns {
+		ref := ref
 		offset := int64(s.rng.Float64() * float64(s.spec.BurstWindow))
 		s.lb.Eng.After(time.Duration(offset), func() {
-			s.sendBurstReq(conn, s.spec.BurstRequests)
+			s.sendBurstReq(ref, s.spec.BurstRequests)
 		})
 	}
 }
 
-func (s *Surge) sendBurstReq(conn *kernel.Conn, remaining int) {
-	if remaining == 0 || conn.Sock().Closed() {
+func (s *Surge) sendBurstReq(ref kernel.ConnRef, remaining int) {
+	conn := ref.Get()
+	if remaining == 0 || conn == nil || conn.Sock().Closed() {
 		return
 	}
 	s.RequestsSent++
@@ -111,5 +114,5 @@ func (s *Surge) sendBurstReq(conn *kernel.Conn, remaining int) {
 		Tenant:    s.spec.Port,
 	})
 	gap := time.Duration(s.spec.BurstInterReqNS.Sample(s.rng))
-	s.lb.Eng.After(gap, func() { s.sendBurstReq(conn, remaining-1) })
+	s.lb.Eng.After(gap, func() { s.sendBurstReq(ref, remaining-1) })
 }
