@@ -2,6 +2,13 @@
 // as JSON shaped experiment → cell → metric snapshots, and every cell must
 // carry at least one named metric. CI runs it as the telemetry smoke test.
 //
+// Beyond shape, it enforces the mode-conditional catalog: JIT counters
+// (ebpf.jit.*) exist exactly in cells that attach bytecode (mode "hermes",
+// where the compiled program must actually have run), the sync-batching
+// counter (core.schedule.sync_batched) exactly in cells that run the Hermes
+// control loop ("hermes" and "hermes-native"), and neither anywhere else —
+// a leak in either direction means telemetry wiring regressed.
+//
 //	go run ./cmd/checkmetrics dump.json
 package main
 
@@ -9,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"hermes/internal/telemetry"
 )
@@ -43,12 +51,59 @@ func main() {
 				}
 				metrics++
 			}
+			checkModeCatalog(exp, cell, snaps)
 		}
 	}
 	if cells == 0 {
 		fatal("dump has no cells")
 	}
 	fmt.Printf("ok: %d experiments, %d cells, %d metric snapshots\n", exps, cells, metrics)
+}
+
+// checkModeCatalog enforces the mode-conditional metrics. Cell names embed
+// the dispatch mode as their last dash-separated token (l7lb.Mode.String()),
+// so "…-hermes" runs bytecode through the JIT, "…-hermes-native" runs the
+// native twin (control loop but no bytecode), and anything else runs no
+// Hermes machinery at all.
+func checkModeCatalog(exp, cell string, snaps []telemetry.MetricSnapshot) {
+	vm := strings.HasSuffix(cell, "hermes")
+	hermes := vm || strings.HasSuffix(cell, "hermes-native")
+	find := func(name string) *telemetry.MetricSnapshot {
+		for i := range snaps {
+			if snaps[i].Name == name {
+				return &snaps[i]
+			}
+		}
+		return nil
+	}
+	if vm {
+		for _, name := range []string{"ebpf.jit.runs", "ebpf.jit.programs", "ebpf.jit.insns", "ebpf.jit.closures"} {
+			ms := find(name)
+			if ms == nil {
+				fatal(fmt.Sprintf("%s/%s: hermes cell missing %s", exp, cell, name))
+			}
+			if ms.Total() <= 0 {
+				fatal(fmt.Sprintf("%s/%s: %s is zero — dispatch ran interpreted?", exp, cell, name))
+			}
+		}
+	}
+	if hermes {
+		if ms := find("core.schedule.sync_batched"); ms == nil {
+			fatal(fmt.Sprintf("%s/%s: hermes cell missing core.schedule.sync_batched", exp, cell))
+		}
+	}
+	if !vm {
+		for i := range snaps {
+			if strings.HasPrefix(snaps[i].Name, "ebpf.jit.") {
+				fatal(fmt.Sprintf("%s/%s: non-bytecode cell carries %s", exp, cell, snaps[i].Name))
+			}
+		}
+	}
+	if !hermes {
+		if find("core.schedule.sync_batched") != nil {
+			fatal(fmt.Sprintf("%s/%s: non-hermes cell carries core.schedule.sync_batched", exp, cell))
+		}
+	}
 }
 
 func fatal(msg string) {

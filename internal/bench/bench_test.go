@@ -304,7 +304,7 @@ func TestScaleParallelByteIdenticalOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run sweep comparison is expensive")
 	}
-	wall := regexp.MustCompile(`wall [0-9.]+s`)
+	wall := regexp.MustCompile(`wall [0-9.]+s( ratio [0-9.]+x)?`)
 	e := Experiments()["scale"]
 	seq := wall.ReplaceAllString(RunExperiment(e, parallelTestOptions(1)), "wall Xs")
 	par := wall.ReplaceAllString(RunExperiment(e, parallelTestOptions(8)), "wall Xs")

@@ -185,12 +185,26 @@ func (scaleExperiment) Render(o Options, results []any) string {
 	}
 	out := tb.Render()
 	out += "imbalance = stddev/mean of per-worker accepted connections; kconns/s is virtual-time throughput\n"
-	// Host-side timing: each line's only varying token matches `wall X.Xs`,
-	// so the standard normalization leaves the section byte-identical at
-	// any -parallel setting.
+	// Host-side timing: each line's varying tokens match `wall X.Xs` and
+	// `ratio X.XXx`, so the standard normalization leaves the section
+	// byte-identical at any -parallel setting. ratio is plain reuseport's
+	// wall-clock over this cell's for the same fleet×conns — hermes cells
+	// near 1.00x mean the control loop (bytecode dispatch + Algorithm 1)
+	// costs roughly nothing over stateless hashing at that scale.
+	base := make(map[[2]int]float64)
 	for _, r := range results {
 		c := r.(scaleCell)
-		out += fmt.Sprintf("  %s: wall %.1fs\n", scaleCellName(c.fleet, c.conns, c.mode), c.wallS)
+		if c.mode == l7lb.ModeReuseport {
+			base[[2]int{c.fleet, c.conns}] = c.wallS
+		}
+	}
+	for _, r := range results {
+		c := r.(scaleCell)
+		out += fmt.Sprintf("  %s: wall %.1fs", scaleCellName(c.fleet, c.conns, c.mode), c.wallS)
+		if b := base[[2]int{c.fleet, c.conns}]; b > 0 && c.wallS > 0 {
+			out += fmt.Sprintf(" ratio %.2fx", b/c.wallS)
+		}
+		out += "\n"
 	}
 	return out
 }

@@ -47,6 +47,18 @@ type Config struct {
 
 	// MaxEvents caps the epoll_wait batch size.
 	MaxEvents int
+
+	// SyncQuantum batches Algorithm-1 recomputes: within one quantum the
+	// first schedule_and_sync() call runs the full Snapshot → Schedule →
+	// map-sync pipeline and later calls (from any worker) reuse its published
+	// result. 0 disables batching — every call recomputes, the paper's
+	// literal per-event-loop behaviour. A busy fleet calls schedule_and_sync
+	// once per event loop from every worker, so N workers pay N scans of N
+	// WST rows per loop; one scan per quantum preserves freshness (staleness
+	// is already bounded by EpollTimeout ≪ HangThreshold) at 1/N the cost.
+	// Policy flips (fallback, single-winner, SetConfig) invalidate the cache
+	// immediately.
+	SyncQuantum time.Duration
 }
 
 // DefaultConfig returns the production-like defaults used throughout the
@@ -77,6 +89,13 @@ func (c Config) Validate() error {
 	}
 	if c.MaxEvents < 1 {
 		return fmt.Errorf("core: MaxEvents must be ≥ 1, got %d", c.MaxEvents)
+	}
+	if c.SyncQuantum < 0 {
+		return fmt.Errorf("core: SyncQuantum must be ≥ 0, got %v", c.SyncQuantum)
+	}
+	if c.SyncQuantum >= c.HangThreshold {
+		return fmt.Errorf("core: SyncQuantum %v must stay below HangThreshold %v (a full quantum of staleness must not mask a hang)",
+			c.SyncQuantum, c.HangThreshold)
 	}
 	return nil
 }

@@ -2,13 +2,63 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
+	"hermes/internal/bitops"
 	"hermes/internal/ebpf"
 	"hermes/internal/kernel"
 	"hermes/internal/shm"
 	"hermes/internal/tracing"
 )
+
+// syncCache coalesces schedule_and_sync calls within one Config.SyncQuantum:
+// the first caller of a quantum runs the full Snapshot → Schedule → map-sync
+// pipeline and publishes its result here; later callers return it directly,
+// skipping the O(workers) WST scan and the map-update syscall. Fields are
+// independent atomics read without a lock: a torn read across a concurrent
+// refill can pair one quantum's bitmap with a neighbour's counts, both of
+// which were correctly published within the last quantum — exactly the
+// staleness the quantum already admits (the kernel-facing bitmap itself is
+// always the one the filling worker synced). Ordering matters only in that
+// the filler stores lastNS last: a reader that observes the new timestamp
+// observes payload stores no older than it.
+type syncCache struct {
+	lastNS atomic.Int64  // virtual time of the last real sync; sentinel = never
+	gen    atomic.Uint64 // policy generation the cache was computed under
+	bitmap atomic.Uint64
+	meta   atomic.Uint64 // total | passed<<16 | alive<<32
+}
+
+// cacheNever marks an unfilled cache. Virtual clocks start near 0 and may be
+// legitimately negative-ish in tests, so 0 is not usable as "never".
+const cacheNever = math.MinInt64
+
+func (sc *syncCache) init() { sc.lastNS.Store(cacheNever) }
+
+// load returns the cached result if it is still valid at nowNS under policy
+// generation gen and quantum q.
+func (sc *syncCache) load(nowNS int64, gen uint64, q int64) (ScheduleResult, bool) {
+	last := sc.lastNS.Load()
+	if last == cacheNever || sc.gen.Load() != gen || nowNS < last || nowNS-last >= q {
+		return ScheduleResult{}, false
+	}
+	meta := sc.meta.Load()
+	return ScheduleResult{
+		Bitmap: bitops.Bitmap64(sc.bitmap.Load()),
+		Total:  int(meta & 0xffff),
+		Passed: int(meta >> 16 & 0xffff),
+		Alive:  int(meta >> 32 & 0xffff),
+	}, true
+}
+
+// store publishes a freshly computed-and-synced result.
+func (sc *syncCache) store(nowNS int64, gen uint64, res ScheduleResult) {
+	sc.gen.Store(gen)
+	sc.bitmap.Store(uint64(res.Bitmap))
+	sc.meta.Store(uint64(res.Total)&0xffff | uint64(res.Passed)&0xffff<<16 | uint64(res.Alive)&0xffff<<32)
+	sc.lastNS.Store(nowNS)
+}
 
 // Controller owns one worker group's Hermes state: the shared Worker Status
 // Table, the kernel-facing selection map, and the dispatch attachment. One
@@ -21,10 +71,17 @@ type Controller struct {
 	wst          *shm.WST
 	sel          *ebpf.ArrayMap
 
+	// Sync batching (Config.SyncQuantum). polGen counts policy mutations;
+	// a cached result is only served while the generation it was computed
+	// under is still current.
+	cache  syncCache
+	polGen atomic.Uint64
+
 	// Scheduling statistics (atomic: in real-goroutine deployments every
 	// worker runs the scheduler concurrently).
 	scheduleCalls atomic.Uint64
 	syncs         atomic.Uint64
+	syncBatched   atomic.Uint64
 	passedSum     atomic.Uint64
 	aliveSum      atomic.Uint64
 	emptySets     atomic.Uint64
@@ -48,11 +105,15 @@ func NewController(n int, cfg Config) (*Controller, error) {
 		sel: ebpf.NewArrayMap(1),
 	}
 	c.cfg.Store(&cfg)
+	c.cache.init()
 	return c, nil
 }
 
 // SetFilterOrder overrides the filter cascade (ablations, live policy).
-func (c *Controller) SetFilterOrder(o FilterOrder) { c.order.Store(int32(o)) }
+func (c *Controller) SetFilterOrder(o FilterOrder) {
+	c.order.Store(int32(o))
+	c.polGen.Add(1)
+}
 
 // FilterOrder returns the active cascade order.
 func (c *Controller) FilterOrder() FilterOrder { return FilterOrder(c.order.Load()) }
@@ -71,13 +132,18 @@ func (c *Controller) SetConfig(cfg Config) error {
 		return err
 	}
 	c.cfg.Store(&cfg)
+	c.polGen.Add(1)
 	return nil
 }
 
 // SetForceFallback toggles reuseport-hash fallback: while set, schedulers
 // publish an empty bitmap so the kernel dispatches by plain hashing
 // (Appendix C: the control interface "supports fallbacks to reuseport").
-func (c *Controller) SetForceFallback(on bool) { c.fallback.Store(on) }
+// Toggling takes effect on the next schedule_and_sync even mid-quantum.
+func (c *Controller) SetForceFallback(on bool) {
+	c.fallback.Store(on)
+	c.polGen.Add(1)
+}
 
 // ForceFallback reports whether fallback mode is on.
 func (c *Controller) ForceFallback() bool { return c.fallback.Load() }
@@ -87,7 +153,10 @@ func (c *Controller) ForceFallback() bool { return c.fallback.Load() }
 // best worker. Because userspace updates far less often than connections
 // arrive, the kernel then funnels every new connection to that worker until
 // the next sync — the overload failure §5.3.2's two-stage design prevents.
-func (c *Controller) SetSingleWinner(on bool) { c.singleWinner.Store(on) }
+func (c *Controller) SetSingleWinner(on bool) {
+	c.singleWinner.Store(on)
+	c.polGen.Add(1)
+}
 
 // WST exposes the worker status table (diagnostics and tests).
 func (c *Controller) WST() *shm.WST { return c.wst }
@@ -163,15 +232,26 @@ func (c *Controller) NewWorkerHook(id int) *WorkerHook {
 // scheduleAndSync is the shared implementation behind every worker's
 // schedule_and_sync() call.
 func (c *Controller) scheduleAndSync(nowNS int64, buf []shm.Metrics) (ScheduleResult, []shm.Metrics) {
+	cfg := c.cfg.Load()
+	gen := c.polGen.Load()
+	batching := cfg.SyncQuantum > 0 && !c.fallback.Load() && !c.singleWinner.Load()
+	if batching {
+		if res, ok := c.cache.load(nowNS, gen, int64(cfg.SyncQuantum)); ok {
+			c.syncBatched.Add(1)
+			c.tel.SyncBatched.Inc()
+			return res, buf
+		}
+	}
+
 	buf = c.wst.Snapshot(buf[:0])
 	var res ScheduleResult
 	switch {
 	case c.fallback.Load():
 		res = ScheduleResult{Total: len(buf)} // empty set → kernel hash fallback
 	case c.singleWinner.Load():
-		res = ScheduleSingleWinner(nowNS, buf, *c.cfg.Load())
+		res = ScheduleSingleWinner(nowNS, buf, *cfg)
 	default:
-		res = Schedule(nowNS, buf, *c.cfg.Load(), FilterOrder(c.order.Load()))
+		res = Schedule(nowNS, buf, *cfg, FilterOrder(c.order.Load()))
 	}
 
 	c.scheduleCalls.Add(1)
@@ -192,14 +272,23 @@ func (c *Controller) scheduleAndSync(nowNS int64, buf []shm.Metrics) (ScheduleRe
 	if err := c.sel.Update(0, uint64(res.Bitmap)); err == nil {
 		c.syncs.Add(1)
 		c.tel.Syncs.Inc()
+		// Only a successfully synced default-path result may serve a
+		// quantum: the fallback and single-winner policies are deliberately
+		// exempt from coalescing (they are ablation/override modes whose
+		// tests flip them between calls at one instant), and a failed map
+		// update must not suppress the next worker's retry.
+		if batching {
+			c.cache.store(nowNS, gen, res)
+		}
 	}
 	return res, buf
 }
 
 // Stats is a snapshot of scheduling counters.
 type Stats struct {
-	ScheduleCalls uint64  // schedule_and_sync invocations
+	ScheduleCalls uint64  // schedule_and_sync invocations that recomputed
 	Syncs         uint64  // successful kernel map updates (syscalls)
+	Batched       uint64  // invocations coalesced into a quantum's cached result
 	AvgAlive      float64 // mean workers surviving the time filter
 	AvgPassed     float64 // mean workers passing the whole cascade
 	EmptySets     uint64  // passes that selected nobody (kernel fallback)
@@ -211,6 +300,7 @@ func (c *Controller) Stats() Stats {
 	s := Stats{
 		ScheduleCalls: calls,
 		Syncs:         c.syncs.Load(),
+		Batched:       c.syncBatched.Load(),
 		EmptySets:     c.emptySets.Load(),
 	}
 	if calls > 0 {

@@ -22,8 +22,10 @@ const (
 	h1 = 0x0101010101010101
 )
 
-// emitPopCount appends dst = popcount(dst), clobbering tmp. 13 instructions,
-// branch-free.
+// emitPopCount appends dst = popcount(dst), clobbering tmp. 15 instructions,
+// branch-free. The JIT recognizes this exact expansion and fuses it to a
+// native bits.OnesCount64 (internal/ebpf fusion matchers); changing the shape
+// here only costs speed, not correctness.
 func emitPopCount(a *ebpf.Assembler, dst, tmp ebpf.Reg) {
 	a.MovReg(tmp, dst).RshImm(tmp, 1).AndImm(tmp, m1).SubReg(dst, tmp)
 	a.MovReg(tmp, dst).RshImm(tmp, 2).AndImm(tmp, m2).AndImm(dst, m2).AddReg(dst, tmp)
@@ -53,12 +55,32 @@ func emitFindNth(a *ebpf.Assembler, v, rank, pos, t, tmp ebpf.Reg, labelPrefix s
 	a.Label(lbl)
 }
 
+// hashMixConst decorrelates the two levels of grouped dispatch (odd, so the
+// map hash → hash*K mod 2^32 is a bijection: no collisions introduced).
+// reciprocal_scale consumes the TOP bits of its input, so reusing the raw
+// 4-tuple hash for both the group pick and the in-group rank makes the rank
+// a near-deterministic function of the group: within group g, only ranks
+// mapping back to [g/G, (g+1)/G) of the hash space are reachable, i.e. only
+// ~span/G of each group's workers ever receive traffic. At 256 workers
+// (4 groups of 64) that leaves 3 of every 4 workers idle and pushes the
+// load-imbalance metric to √3 ≈ 1.73 — the regression the scale sweep
+// caught. Multiplying the rank hash by the golden-ratio constant first
+// (Fibonacci hashing) makes the level-2 input's top bits independent of the
+// level-1 decision.
+const hashMixConst = 0x9E3779B1
+
+// mix32 is the native twin of the MulImm the grouped program applies to the
+// rank hash.
+func mix32(h uint32) uint32 { return uint32(uint64(h) * hashMixConst) }
+
 // emitGroupDispatch appends the single-group body of Algorithm 2 against the
 // given map slots: load the selection bitmap, count candidates, bail to
 // fallLabel if fewer than minWorkers, otherwise scale the 4-tuple hash to a
 // rank, select that worker's socket and exit 0. labelPrefix uniquifies
-// labels when several group bodies share one program.
-func emitGroupDispatch(a *ebpf.Assembler, selSlot, sockSlot uint64, minWorkers int, fallLabel, labelPrefix string) {
+// labels when several group bodies share one program. mixHash decorrelates
+// the rank hash from the level-1 group pick (see hashMixConst) and must be
+// set iff the body is part of a two-level program.
+func emitGroupDispatch(a *ebpf.Assembler, selSlot, sockSlot uint64, minWorkers int, fallLabel, labelPrefix string, mixHash bool) {
 	// R6 = C = M_sel[0]
 	a.LdMap(ebpf.R1, selSlot)
 	a.MovImm(ebpf.R2, 0)
@@ -73,6 +95,9 @@ func emitGroupDispatch(a *ebpf.Assembler, selSlot, sockSlot uint64, minWorkers i
 	// R8 = reciprocal_scale(hash, n) + 1   (1-based rank)
 	a.Call(ebpf.HelperGetHash)
 	a.MovReg(ebpf.R1, ebpf.R0)
+	if mixHash {
+		a.MulImm(ebpf.R1, hashMixConst)
+	}
 	a.MovReg(ebpf.R2, ebpf.R7)
 	a.Call(ebpf.HelperReciprocalScale)
 	a.MovReg(ebpf.R8, ebpf.R0)
@@ -102,7 +127,7 @@ func BuildDispatchProgram(sel *ebpf.ArrayMap, socks *ebpf.SockArray, minWorkers 
 	a := ebpf.NewAssembler()
 	selSlot := a.AddMap(sel)
 	sockSlot := a.AddMap(socks)
-	emitGroupDispatch(a, selSlot, sockSlot, minWorkers, "fallback", "g0")
+	emitGroupDispatch(a, selSlot, sockSlot, minWorkers, "fallback", "g0", false)
 	a.Label("fallback")
 	a.MovImm(ebpf.R0, 1)
 	a.Exit()
@@ -168,7 +193,7 @@ func BuildGroupedDispatchProgram(groups []GroupMaps, minWorkers int, key GroupKe
 	a.Ja("fallback")
 	for i, s := range ss {
 		a.Label(fmt.Sprintf("grp%d", i))
-		emitGroupDispatch(a, s.sel, s.sock, minWorkers, "fallback", fmt.Sprintf("g%d", i))
+		emitGroupDispatch(a, s.sel, s.sock, minWorkers, "fallback", fmt.Sprintf("g%d", i), true)
 	}
 	a.Label("fallback")
 	a.MovImm(ebpf.R0, 1)
@@ -204,6 +229,6 @@ func NativeSelectGrouped(bitmaps []uint64, hash, localityHash uint32, minWorkers
 		l1 = localityHash
 	}
 	g := int(bitops.ReciprocalScale(l1, uint32(len(bitmaps))))
-	w, ok := NativeSelect(bitmaps[g], hash, minWorkers)
+	w, ok := NativeSelect(bitmaps[g], mix32(hash), minWorkers)
 	return g, w, ok
 }

@@ -19,13 +19,14 @@ import (
 // One group degenerates to standard Hermes; one worker per group degenerates
 // to plain reuseport — the generalization the appendix points out.
 type GroupedController struct {
-	cfg   Config
-	order FilterOrder
-	key   GroupKey
-	wst   *shm.Grouped
-	sels  []*ebpf.ArrayMap
-	tel   Instruments
-	tr    *tracing.ScheduleTrace
+	cfg    Config
+	order  FilterOrder
+	key    GroupKey
+	wst    *shm.Grouped
+	sels   []*ebpf.ArrayMap
+	caches []syncCache // per-group sync batching (groups are independent loops)
+	tel    Instruments
+	tr     *tracing.ScheduleTrace
 }
 
 // NewGroupedController creates Hermes state for n workers split into
@@ -40,9 +41,7 @@ func NewGroupedController(n int, cfg Config, key GroupKey) (*GroupedController, 
 		return nil, fmt.Errorf("core: worker count %d < 1", n)
 	}
 	g := &GroupedController{cfg: cfg, key: key, wst: shm.NewGrouped(n)}
-	for i := 0; i < g.wst.Groups(); i++ {
-		g.sels = append(g.sels, ebpf.NewArrayMap(1))
-	}
+	g.initGroups()
 	return g, nil
 }
 
@@ -64,10 +63,16 @@ func NewGroupedControllerWithGroups(n, nGroups int, cfg Config, key GroupKey) (*
 		return nil, fmt.Errorf("core: group span %d exceeds %d", span, shm.GroupSize)
 	}
 	g := &GroupedController{cfg: cfg, key: key, wst: shm.NewGroupedSpan(n, span)}
+	g.initGroups()
+	return g, nil
+}
+
+func (g *GroupedController) initGroups() {
+	g.caches = make([]syncCache, g.wst.Groups())
 	for i := 0; i < g.wst.Groups(); i++ {
 		g.sels = append(g.sels, ebpf.NewArrayMap(1))
+		g.caches[i].init()
 	}
-	return g, nil
 }
 
 // SetFilterOrder overrides the filter cascade (ablations).
@@ -125,7 +130,7 @@ func (g *GroupedController) AttachNative(rg *kernel.ReuseportGroup) error {
 		}
 		gi := int(reciprocalScale32(l1, uint32(g.Groups())))
 		bitmap, _ := g.sels[gi].Lookup(0)
-		w, ok := NativeSelect(bitmap, hash, min)
+		w, ok := NativeSelect(bitmap, mix32(hash), min)
 		if !ok {
 			return nil, false
 		}
@@ -190,8 +195,18 @@ func (h *GroupedWorkerHook) ConnOpened() { h.w.AddConn(1) }
 func (h *GroupedWorkerHook) ConnClosed() { h.w.AddConn(-1) }
 
 // ScheduleAndSync runs Algorithm 1 over this worker's group and publishes
-// the group bitmap.
+// the group bitmap. With Config.SyncQuantum set, one recompute per group per
+// quantum serves every group member's call (groups batch independently —
+// their WSTs and selection maps are disjoint).
 func (h *GroupedWorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
+	cache := &h.gc.caches[h.group]
+	if q := h.gc.cfg.SyncQuantum; q > 0 {
+		if res, ok := cache.load(nowNS, 0, int64(q)); ok {
+			h.gc.tel.SyncBatched.Inc()
+			h.gc.tr.Pass(h.id, nowNS, res.Passed, res.Total)
+			return res
+		}
+	}
 	wst := h.gc.wst.Group(h.group)
 	h.buf = wst.Snapshot(h.buf[:0])
 	res := Schedule(nowNS, h.buf, h.gc.cfg, h.gc.order)
@@ -204,6 +219,9 @@ func (h *GroupedWorkerHook) ScheduleAndSync(nowNS int64) ScheduleResult {
 	wst.StoreSelection(uint64(res.Bitmap))
 	if err := h.gc.sels[h.group].Update(0, uint64(res.Bitmap)); err == nil {
 		h.gc.tel.Syncs.Inc()
+		if h.gc.cfg.SyncQuantum > 0 {
+			cache.store(nowNS, 0, res)
+		}
 	}
 	h.gc.tr.Pass(h.id, nowNS, res.Passed, res.Total)
 	return res

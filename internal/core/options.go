@@ -44,6 +44,10 @@ type Instruments struct {
 	Recomputes *telemetry.Counter
 	// Syncs counts successful kernel selection-map updates (syscalls).
 	Syncs *telemetry.Counter
+	// SyncBatched counts schedule_and_sync invocations coalesced into a
+	// quantum's cached result (Config.SyncQuantum) — calls that paid neither
+	// a WST scan nor a map-update syscall.
+	SyncBatched *telemetry.Counter
 	// WSTReads counts Worker Status Table rows read by scheduling passes.
 	WSTReads *telemetry.Counter
 	// EmptySets counts passes that selected nobody (kernel hash fallback).

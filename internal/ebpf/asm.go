@@ -3,6 +3,7 @@ package ebpf
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Assembler builds instruction sequences with symbolic forward labels, so
@@ -201,10 +202,16 @@ func (a *Assembler) Assemble() (*Program, error) {
 }
 
 // Program is a verified, immutable instruction sequence with its map
-// references, ready to attach to a reuseport group.
+// references, ready to attach to a reuseport group. It can run interpreted
+// (Run) or lowered to native closures (Compiled); the JIT result is cached
+// on the program.
 type Program struct {
 	insns []Insn
 	maps  []Map
+
+	jitOnce sync.Once
+	jit     *Compiled
+	jitErr  error
 }
 
 // Len returns the instruction count.

@@ -87,6 +87,112 @@ func TestFuzzVerifiedProgramsTerminate(t *testing.T) {
 	t.Logf("fuzz: %d/%d random programs verified and ran clean", accepted, trials)
 }
 
+// idiomPrelude returns an instruction block seeding the fusable idioms the
+// JIT's pattern matcher targets: the 15-insn SWAR popcount and the 3-insn
+// shifted-window extract. Random programs alone essentially never emit these
+// shapes, so the differential fuzzer splices them in (prepended, so relative
+// jump offsets in the random tail stay valid).
+func idiomPrelude(rng *rand.Rand) []Insn {
+	dst := Reg(rng.Intn(10))
+	tmp := Reg(rng.Intn(10))
+	for tmp == dst {
+		tmp = Reg(rng.Intn(10))
+	}
+	block := []Insn{
+		{Op: OpMovImm, Dst: dst, Imm: rng.Uint64()},
+		{Op: OpMovImm, Dst: tmp, Imm: rng.Uint64()},
+	}
+	switch rng.Intn(3) {
+	case 0:
+		block = append(block, emitPopCountInsns(dst, tmp)...)
+	case 1:
+		// Full rank-select walk over five pairwise-distinct registers; v and
+		// rank (dst, tmp here) are seeded above, pos/t/tmp2 are written by
+		// the walk itself.
+		perm := rng.Perm(10)
+		pos, t, tmp2 := Reg(perm[0]), Reg(perm[1]), Reg(perm[2])
+		for _, r := range []*Reg{&pos, &t, &tmp2} {
+			for *r == dst || *r == tmp {
+				*r = Reg(rng.Intn(10))
+			}
+		}
+		if pos != t && t != tmp2 && pos != tmp2 {
+			block = append(block, findNthShape(dst, tmp, pos, t, tmp2)...)
+		}
+	default:
+		// Window extract: t = (v >> pos) & mask, with v, pos, t distinct and
+		// pos != t (the matcher's aliasing precondition; violating shapes are
+		// covered by the random generator).
+		v, pos := dst, tmp
+		t := Reg(rng.Intn(10))
+		for t == v || t == pos {
+			t = Reg(rng.Intn(10))
+		}
+		block = append(block,
+			Insn{Op: OpMovImm, Dst: t, Imm: rng.Uint64()},
+			Insn{Op: OpMovReg, Dst: t, Src: v},
+			Insn{Op: OpRshReg, Dst: t, Src: pos},
+			Insn{Op: OpAndImm, Dst: t, Imm: 1<<(1+rng.Intn(32)) - 1},
+		)
+	}
+	return block
+}
+
+// Differential fuzzing with the interpreter as oracle: every program the
+// verifier accepts must produce identical observable behaviour — R0, error
+// identity, selected socket, selected index — under the interpreter and the
+// JIT. Half the trials splice in fusable idiom blocks so the fused closures
+// (not just the 1:1 lowering) are exercised.
+func TestFuzzDifferentialJIT(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	am := NewArrayMap(2)
+	_ = am.Update(0, 0xbeef)
+	_ = am.Update(1, 0b1010_1100)
+	sa := NewSockArray(4)
+	_ = sa.Put(0, "sock0")
+	_ = sa.Put(2, "sock2")
+
+	accepted, fused := 0, 0
+	const trials = 30_000
+	for i := 0; i < trials; i++ {
+		p := randProgram(rng, am, sa)
+		if rng.Intn(2) == 0 {
+			p = &Program{insns: append(idiomPrelude(rng), p.insns...), maps: p.maps}
+		}
+		if err := Verify(p); err != nil {
+			continue
+		}
+		accepted++
+		c, err := Compile(p)
+		if err != nil {
+			t.Fatalf("verified program failed to compile: %v\n%s", err, p.Disassemble())
+		}
+		if c.Closures() < c.Insns() {
+			fused++
+		}
+		ictx := ReuseportCtx{Hash: rng.Uint32(), LocalityHash: rng.Uint32()}
+		jctx := ictx
+		ir0, ierr := p.Run(&ictx)
+		jr0, jerr := c.Run(&jctx)
+		if ir0 != jr0 || ierr != jerr {
+			t.Fatalf("divergence: interp (r0=%d err=%v) jit (r0=%d err=%v)\n%s",
+				ir0, ierr, jr0, jerr, p.Disassemble())
+		}
+		if ictx.Selected != jctx.Selected || ictx.SelectedIndex != jctx.SelectedIndex {
+			t.Fatalf("ctx divergence: interp (%v,%d) jit (%v,%d)\n%s",
+				ictx.Selected, ictx.SelectedIndex,
+				jctx.Selected, jctx.SelectedIndex, p.Disassemble())
+		}
+	}
+	if accepted < 100 {
+		t.Fatalf("only %d verified programs of %d; generator too weak", accepted, trials)
+	}
+	if fused < 10 {
+		t.Fatalf("only %d of %d compiled programs fused anything; idiom splicing broken", fused, accepted)
+	}
+	t.Logf("differential fuzz: %d/%d programs verified, %d with fusion, zero divergences", accepted, trials, fused)
+}
+
 // Property: the verifier never panics on arbitrary instruction sequences.
 func TestFuzzVerifierRobust(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))

@@ -7,10 +7,14 @@
 // eBPF's limited programmability — no loops, no complex hashing — which is
 // why it selects workers with branch-free bit tricks. Reproducing that
 // constraint faithfully matters as much as reproducing the behaviour, so
-// Hermes's dispatch logic in this repo is assembled to bytecode, verified,
-// and interpreted, exactly as a loaded BPF program would be. A semantically
-// identical native-Go path (native.go) mirrors production, where the program
-// runs JIT-compiled; benchmarks compare both.
+// Hermes's dispatch logic in this repo is assembled to bytecode and
+// verified, exactly as a loaded BPF program would be. Verified programs run
+// either interpreted (vm.go, the reference implementation) or JIT-compiled
+// to native closure chains (jit.go) — the same two tiers the real kernel
+// has, with the interpreter serving as the differential-fuzz oracle for the
+// compiler. A semantically identical hand-written native path in
+// internal/core mirrors what a production JIT would emit; benchmarks compare
+// all three.
 package ebpf
 
 import "fmt"

@@ -1,9 +1,6 @@
 package ebpf
 
-import (
-	"errors"
-	"fmt"
-)
+import "errors"
 
 // ReuseportCtx is the execution context handed to a program attached at the
 // SO_ATTACH_REUSEPORT_EBPF hook. The kernel (simulated in internal/kernel)
@@ -22,7 +19,9 @@ type ReuseportCtx struct {
 	SelectedIndex int
 }
 
-// Program run errors.
+// Program run errors. All are pre-built sentinels so the error flow never
+// allocates: the dispatch path treats any error as "fall back to hashing",
+// and a per-SYN fmt.Errorf would put an allocation on that path.
 var (
 	// ErrMapMiss reports a bpf_map_lookup_elem on a missing key. Real
 	// programs get a NULL pointer and must branch; the register-only VM
@@ -31,6 +30,17 @@ var (
 	// ErrBudget reports instruction-budget exhaustion (cannot happen for
 	// verified programs; kept as a backstop for the interpreter itself).
 	ErrBudget = errors.New("ebpf: instruction budget exhausted")
+	// ErrBadMapHandle reports a helper map argument that is not a handle
+	// produced by OpLdMap.
+	ErrBadMapHandle = errors.New("ebpf: invalid map handle")
+	// ErrMapTypeMismatch reports a helper applied to the wrong map kind.
+	ErrMapTypeMismatch = errors.New("ebpf: helper map type mismatch")
+	// ErrUnknownHelper reports a call to an unregistered helper id.
+	ErrUnknownHelper = errors.New("ebpf: unknown helper")
+	// ErrUnknownOpcode reports an opcode outside the instruction set.
+	ErrUnknownOpcode = errors.New("ebpf: unknown opcode")
+	// ErrFellOff reports execution running past the last instruction.
+	ErrFellOff = errors.New("ebpf: fell off program end")
 )
 
 // Run interprets the program against ctx and returns R0.
@@ -164,16 +174,16 @@ func (p *Program) Run(ctx *ReuseportCtx) (uint64, error) {
 		case OpExit:
 			return regs[R0], nil
 		default:
-			return 0, fmt.Errorf("ebpf: unknown opcode %d at pc %d", in.Op, pc)
+			return 0, ErrUnknownOpcode
 		}
 		pc++
 	}
-	return 0, fmt.Errorf("ebpf: fell off program end")
+	return 0, ErrFellOff
 }
 
 func (p *Program) mapFromHandle(h uint64) (Map, error) {
 	if h == 0 || int(h-1) >= len(p.maps) {
-		return nil, fmt.Errorf("ebpf: invalid map handle %d", h)
+		return nil, ErrBadMapHandle
 	}
 	return p.maps[h-1], nil
 }
@@ -188,7 +198,7 @@ func (p *Program) call(h HelperID, regs *[NumRegs]uint64, ctx *ReuseportCtx) err
 		}
 		am, ok := m.(*ArrayMap)
 		if !ok {
-			return fmt.Errorf("ebpf: map_lookup_elem on %s", m.Type())
+			return ErrMapTypeMismatch
 		}
 		v, ok := am.Lookup(uint32(regs[R2]))
 		if !ok {
@@ -208,7 +218,7 @@ func (p *Program) call(h HelperID, regs *[NumRegs]uint64, ctx *ReuseportCtx) err
 		}
 		sa, ok := m.(*SockArray)
 		if !ok {
-			return fmt.Errorf("ebpf: sk_select_reuseport on %s", m.Type())
+			return ErrMapTypeMismatch
 		}
 		idx := uint32(regs[R2])
 		ref := sa.Get(idx)
@@ -220,7 +230,7 @@ func (p *Program) call(h HelperID, regs *[NumRegs]uint64, ctx *ReuseportCtx) err
 			r0 = 0
 		}
 	default:
-		return fmt.Errorf("ebpf: unknown helper %d", h)
+		return ErrUnknownHelper
 	}
 	// Clobber caller-saved registers as the verifier assumes.
 	for r := R1; r <= R5; r++ {

@@ -165,6 +165,17 @@ func BenchmarkSteerSYN(b *testing.B) {
 			}
 		}, hermesExpect)
 	})
+	// The same program forced through the interpreter: the baseline the JIT
+	// is measured against (ebpf vs ebpf-interp is the tier gap; ebpf vs
+	// native is the CI-gated ≤1.5× criterion).
+	b.Run("ebpf-interp", func(b *testing.B) {
+		run(b, func(ctl *core.Controller, g *kernel.ReuseportGroup) {
+			if err := ctl.AttachEBPF(g); err != nil {
+				b.Fatal(err)
+			}
+			g.AttachProgramInterpreted(g.Program())
+		}, hermesExpect)
+	})
 }
 
 // TestHerdDataArrivalZeroAlloc pins the fix for the per-arrival watcher

@@ -23,6 +23,7 @@ type ReuseportGroup struct {
 	socks []*Socket
 
 	prog     *ebpf.Program
+	compiled *ebpf.Compiled
 	selectFn func(hash, localityHash uint32) (*Socket, bool)
 
 	// Dispatch outcome counters.
@@ -39,11 +40,35 @@ type ReuseportGroup struct {
 func (g *ReuseportGroup) Sockets() []*Socket { return g.socks }
 
 // AttachProgram installs a verified eBPF program as the socket selector.
-// Any previously attached selector is replaced.
+// Any previously attached selector is replaced. The program is JIT-compiled
+// on attach — the kernel does the same for SO_ATTACH_REUSEPORT_EBPF when
+// bpf_jit_enable is set — and the compiled form serves every SYN; the
+// interpreter remains the reference semantics (AttachProgramInterpreted) and
+// the fallback if compilation fails.
 func (g *ReuseportGroup) AttachProgram(p *ebpf.Program) {
 	g.prog = p
+	g.compiled = nil
+	g.selectFn = nil
+	if c, err := p.Compiled(); err == nil {
+		g.compiled = c
+	}
+}
+
+// AttachProgramInterpreted installs p without JIT compilation, forcing every
+// dispatch through the interpreter. Benchmarks use it to measure the tier
+// gap; production paths should use AttachProgram.
+func (g *ReuseportGroup) AttachProgramInterpreted(p *ebpf.Program) {
+	g.prog = p
+	g.compiled = nil
 	g.selectFn = nil
 }
+
+// Program returns the attached eBPF program, nil if none.
+func (g *ReuseportGroup) Program() *ebpf.Program { return g.prog }
+
+// Compiled returns the JIT-compiled form of the attached program, nil when
+// detached, native, or interpreter-forced.
+func (g *ReuseportGroup) Compiled() *ebpf.Compiled { return g.compiled }
 
 // AttachNative installs a Go-native selector with the same contract as an
 // eBPF program (production runs the program JIT-compiled; the native path is
@@ -52,11 +77,13 @@ func (g *ReuseportGroup) AttachProgram(p *ebpf.Program) {
 func (g *ReuseportGroup) AttachNative(fn func(hash, localityHash uint32) (*Socket, bool)) {
 	g.selectFn = fn
 	g.prog = nil
+	g.compiled = nil
 }
 
 // Detach removes any attached selector, restoring pure hash dispatch.
 func (g *ReuseportGroup) Detach() {
 	g.prog = nil
+	g.compiled = nil
 	g.selectFn = nil
 }
 
@@ -78,7 +105,15 @@ func (g *ReuseportGroup) pick(hash, localityHash uint32) (*Socket, tracing.Via) 
 	switch {
 	case g.prog != nil:
 		ctx := ebpf.ReuseportCtx{Hash: hash, LocalityHash: localityHash}
-		r0, err := g.prog.Run(&ctx)
+		var (
+			r0  uint64
+			err error
+		)
+		if g.compiled != nil {
+			r0, err = g.compiled.Run(&ctx)
+		} else {
+			r0, err = g.prog.Run(&ctx)
+		}
 		if err != nil {
 			g.ProgErrors++
 			g.tel.ProgErrors.Inc()

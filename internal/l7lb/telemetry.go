@@ -138,6 +138,9 @@ func wireTelemetry(lb *LB) {
 			EmptySets: sink.Counter(telemetry.Metric{
 				Name: "core.schedule.empty_sets", Layer: "core", Unit: "passes",
 				Help: "passes selecting nobody (kernel hash fallback)"}),
+			SyncBatched: sink.Counter(telemetry.Metric{
+				Name: "core.schedule.sync_batched", Layer: "core", Unit: "passes",
+				Help: "schedule_and_sync calls coalesced onto a quantum's cached result"}),
 			Passed: sink.Histogram(telemetry.Metric{
 				Name: "core.schedule.passed", Layer: "core", Unit: "workers",
 				Help: "workers surviving the whole cascade per pass"}, telemetry.CountBuckets(64)),
@@ -154,6 +157,34 @@ func wireTelemetry(lb *LB) {
 		if lb.GCtl != nil {
 			for gi := 0; gi < lb.GCtl.Groups(); gi++ {
 				lb.GCtl.SelMap(gi).Instrument(upd, lkp)
+			}
+		}
+		// JIT counters exist only in ModeHermes — the one mode that attaches
+		// bytecode and compiles it. Creating them conditionally (not just
+		// leaving them at zero) lets the metrics checker assert they are
+		// absent everywhere else. wireTelemetry runs after AttachEBPF, so the
+		// compiled form is already installed here; a nil Compiled means the
+		// compiler declined and the group runs interpreted.
+		if lb.Cfg.Mode == ModeHermes {
+			jitRuns := sink.Counter(telemetry.Metric{
+				Name: "ebpf.jit.runs", Layer: "ebpf", Unit: "runs",
+				Help: "dispatch decisions executed by the compiled (JIT) program"})
+			jitPrograms := sink.Counter(telemetry.Metric{
+				Name: "ebpf.jit.programs", Layer: "ebpf", Unit: "programs",
+				Help: "programs lowered to native closure chains"})
+			jitInsns := sink.Counter(telemetry.Metric{
+				Name: "ebpf.jit.insns", Layer: "ebpf", Unit: "insns",
+				Help: "source bytecode instructions across compiled programs"})
+			jitClosures := sink.Counter(telemetry.Metric{
+				Name: "ebpf.jit.closures", Layer: "ebpf", Unit: "closures",
+				Help: "native closures after idiom fusion (vs insns: fusion ratio)"})
+			for _, g := range lb.groups {
+				if c := g.Compiled(); c != nil {
+					c.Instrument(jitRuns)
+					jitPrograms.Inc()
+					jitInsns.Add(uint64(c.Insns()))
+					jitClosures.Add(uint64(c.Closures()))
+				}
 			}
 		}
 	}
