@@ -76,7 +76,8 @@ func checkSpan(s tracing.Span) error {
 	}
 	kernel := s.Worker == tracing.KernelTrack
 	switch s.Kind {
-	case tracing.KindSYN, tracing.KindDrop, tracing.KindSelmapSync:
+	case tracing.KindSYN, tracing.KindDrop, tracing.KindSelmapSync,
+		tracing.KindProbe, tracing.KindBackendState:
 		if !kernel {
 			return fmt.Errorf("must sit on the kernel track, got worker %d", s.Worker)
 		}
@@ -102,7 +103,8 @@ func checkSpan(s tracing.Span) error {
 	}
 	if s.Conn == 0 {
 		switch s.Kind {
-		case tracing.KindDrop, tracing.KindWakeup, tracing.KindSchedule, tracing.KindSelmapSync, tracing.KindFault:
+		case tracing.KindDrop, tracing.KindWakeup, tracing.KindSchedule, tracing.KindSelmapSync, tracing.KindFault,
+			tracing.KindProbe, tracing.KindBackendState:
 		default:
 			return fmt.Errorf("conn-scoped kind with no connection id")
 		}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/faults"
+	"hermes/internal/httpx"
+	"hermes/internal/proxy"
+	"hermes/internal/tracing"
+)
+
+// runDemo spins up two trivial backends, the proxy, and a client fleet, with
+// one worker poisoned halfway through to show the bitmap steering around it.
+func runDemo(cfg proxy.Config, requests int, statsEvery time.Duration, tracer *tracing.Tracer, tracePath string, sched faults.Schedule) int {
+	backendAddrs := make([]string, 2)
+	for i := range backendAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		backendAddrs[i] = ln.Addr().String()
+		id := i
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					buf := make([]byte, 32<<10)
+					n, _ := c.Read(buf)
+					if _, _, err := httpx.ParseRequest(buf[:n]); err != nil {
+						return
+					}
+					resp := httpx.Response{Status: 200, Body: []byte(fmt.Sprintf("hello from backend %d", id))}
+					_, _ = c.Write(resp.Append(nil))
+				}(c)
+			}
+		}()
+	}
+
+	cfg.Listen = "127.0.0.1:0"
+	cfg.Backends = nil
+	for _, a := range backendAddrs {
+		cfg.Backends = append(cfg.Backends, proxy.BackendConfig{Address: a, Weight: 1})
+	}
+	p, err := proxy.New(cfg, proxy.WithTracer(tracer), proxy.WithFaults(sched))
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+	workers := p.Workers()
+	fmt.Printf("demo: %d workers, proxy %s, backends %v\n", workers, p.Addr(), backendAddrs)
+	if statsEvery > 0 {
+		go reportStats(p, statsEvery)
+	}
+
+	// Steady closed-loop load: a fixed client pool keeps the proxy busy so
+	// the poisoned worker's backlog and stale loop timestamp are visible to
+	// the schedulers (wave-style load would let everyone look idle between
+	// waves and defeat the feedback loop).
+	const clientPool = 24
+	var wg sync.WaitGroup
+	var ok, bad, issued atomic.Uint64
+	poisonAt := uint64(requests / 2)
+	for c := 0; c < clientPool; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := issued.Add(1)
+				if i > uint64(requests) {
+					return
+				}
+				if i == poisonAt {
+					p.SetWorkerDelay(workers-1, 25*time.Millisecond)
+					fmt.Printf("poisoning worker %d at request %d\n", workers-1, i)
+				}
+				if err := demoRequest(p.Addr(), int(i)); err != nil {
+					bad.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("\nrequests: %d ok, %d failed; upstream errors: %d\n", ok.Load(), bad.Load(), p.Errors.Load())
+	fmt.Printf("%-8s %-10s\n", "worker", "handled")
+	for i := 0; i < workers; i++ {
+		note := ""
+		if i == workers-1 {
+			note = "  <- poisoned after halfway"
+		}
+		fmt.Printf("w%-7d %-10d%s\n", i, p.WorkerHandled(i), note)
+	}
+	st := p.Controller().Stats()
+	fmt.Printf("scheduler passes: %d, avg workers selected: %.1f\n", st.ScheduleCalls, st.AvgPassed)
+	if statsEvery > 0 {
+		// Final snapshot: the periodic reporter would drop the tail of the
+		// run (everything since its last tick).
+		printStats(p)
+	}
+	if tracer != nil {
+		if err := writeTrace(tracePath, tracer); err != nil {
+			panic(err)
+		}
+		fmt.Printf("span dump written to %s\n", tracePath)
+	}
+	return 0
+}
+
+func demoRequest(addr string, i int) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := httpx.Request{
+		Method: "GET",
+		Target: fmt.Sprintf("/demo/%d", i),
+		Headers: []httpx.Header{
+			{Name: "Host", Value: "demo"},
+			{Name: "Connection", Value: "close"},
+		},
+	}
+	if _, err := conn.Write(req.Append(nil)); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	data, err := io.ReadAll(conn)
+	if err != nil && len(data) == 0 {
+		return err
+	}
+	resp, _, perr := httpx.ParseResponse(data)
+	if perr != nil {
+		return perr
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("status %d", resp.Status)
+	}
+	return nil
+}

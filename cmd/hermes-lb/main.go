@@ -1,55 +1,61 @@
-// Command hermes-lb is a working HTTP/1.1 reverse proxy over real TCP whose
-// worker scheduling runs the Hermes control loop: goroutine workers publish
-// status to the lock-free Worker Status Table, every worker runs Algorithm 1
-// at the end of its loop, and the acceptor — standing in for the kernel's
-// reuseport eBPF program, which portable Go cannot attach — picks a worker
-// for each accepted connection from the live selection bitmap.
+// Command hermes-lb is a production-grade HTTP/1.1 reverse proxy over real
+// TCP whose worker scheduling runs the Hermes control loop. The proxy engine
+// lives in internal/proxy (backend pool, health checks, circuit breaking,
+// retries, graceful drain); this command is flag parsing and lifecycle.
 //
-//	hermes-lb -listen :8080 -backends 127.0.0.1:9001,127.0.0.1:9002
-//	hermes-lb -demo            # self-contained: spins up backends + client load
+//	hermes-lb -listen :8080 -backends 127.0.0.1:9001,127.0.0.1:9002*3
+//	hermes-lb -config config.yaml       # file + flag overrides
+//	hermes-lb -demo                     # self-contained demo load
+//	hermes-lb -serve-backend :9001      # trivial upstream for smoke tests
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"hermes/internal/core"
 	"hermes/internal/faults"
 	"hermes/internal/httpx"
-	"hermes/internal/telemetry"
+	"hermes/internal/proxy"
 	"hermes/internal/tracing"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:8080", "address to listen on")
-		backends   = flag.String("backends", "", "comma-separated backend addresses")
-		workers    = flag.Int("workers", 4, "worker goroutines (1-64)")
-		admin      = flag.String("admin", "", "admin address serving the policy control API (GET/PUT /policy, GET /status)")
-		statsEvery = flag.Duration("stats-every", 0, "periodically print the telemetry catalog (0 = off)")
-		trace      = flag.String("trace", "", "record a span dump (docs/TRACING.md) of proxied connections, written on shutdown (.jsonl = compact; else Chrome trace JSON)")
-		demo       = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
-		demoReqs   = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
-		faultSpec  = flag.String("faults", "", "fault schedule (docs/FAULTS.md grammar, times relative to start), e.g. \"hang@5s:w2:dur=3s;slow@10s:x=4:dur=5s\"")
+		config       = flag.String("config", "", "YAML config file (docs/PROXY.md); explicit flags override it")
+		listen       = flag.String("listen", "", "address to listen on")
+		backends     = flag.String("backends", "", "comma-separated backend addresses, each optionally addr*weight")
+		workers      = flag.Int("workers", 0, "worker goroutines (1-64)")
+		policy       = flag.String("policy", "", "backend policy: round-robin | weighted | least-connections")
+		admin        = flag.String("admin", "", "admin address serving the REST API (/healthz /backends /stats /circuits /policy /status)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "graceful-shutdown drain deadline")
+		statsEvery   = flag.Duration("stats-every", 0, "periodically print the telemetry catalog (0 = off)")
+		trace        = flag.String("trace", "", "record a span dump (docs/TRACING.md), written on shutdown (.jsonl = compact; else Chrome trace JSON)")
+		demo         = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
+		demoReqs     = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
+		faultSpec    = flag.String("faults", "", "fault schedule (docs/FAULTS.md grammar, times relative to start), e.g. \"hang@5s:w2:dur=3s;slow@10s:x=4:dur=5s\"")
+		serveBackend = flag.String("serve-backend", "", "run a trivial HTTP backend on this address instead of the proxy (smoke tests)")
 	)
 	flag.Parse()
+
+	if *serveBackend != "" {
+		return runStubBackend(*serveBackend)
+	}
 
 	var sched faults.Schedule
 	if *faultSpec != "" {
 		var err error
 		if sched, err = faults.ParseSpec(*faultSpec); err != nil {
 			fmt.Fprintln(os.Stderr, "hermes-lb:", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -62,164 +68,109 @@ func main() {
 		tracer = tracing.New(cfg)
 	}
 
+	// Precedence: defaults, then the config file, then explicit flags.
+	cfg := proxy.DefaultConfig()
+	if *config != "" {
+		var err error
+		if cfg, err = proxy.LoadFile(*config, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+			return 2
+		}
+	}
+	var flagErr error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "listen":
+			cfg.Listen = *listen
+		case "backends":
+			bs, err := proxy.ParseBackends(*backends)
+			if err != nil && flagErr == nil {
+				flagErr = err
+			}
+			cfg.Backends = bs
+		case "workers":
+			cfg.Workers = *workers
+		case "policy":
+			cfg.Policy = *policy
+		case "admin":
+			cfg.AdminListen = *admin
+		case "drain-timeout":
+			cfg.DrainTimeout = *drainTimeout
+		}
+	})
+	if flagErr != nil {
+		fmt.Fprintln(os.Stderr, "hermes-lb:", flagErr)
+		return 2
+	}
+
 	if *demo {
-		runDemo(*workers, *demoReqs, *statsEvery, tracer, *trace, sched)
-		return
+		return runDemo(cfg, *demoReqs, *statsEvery, tracer, *trace, sched)
 	}
-	if *backends == "" {
-		fmt.Fprintln(os.Stderr, "hermes-lb: -backends required (or use -demo)")
-		os.Exit(2)
+	if len(cfg.Backends) == 0 {
+		fmt.Fprintln(os.Stderr, "hermes-lb: -backends or a config file required (or use -demo)")
+		return 2
 	}
-	lb, err := newProxy(*listen, strings.Split(*backends, ","), *workers, tracer)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+		return 2
+	}
+
+	p, err := proxy.New(cfg, proxy.WithTracer(tracer), proxy.WithFaults(sched))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
-		os.Exit(1)
+		return 1
 	}
-	applyFaults(lb, sched)
-	if *admin != "" {
+	if cfg.AdminListen != "" {
 		go func() {
-			fmt.Printf("hermes-lb: policy API on %s\n", *admin)
-			if err := http.ListenAndServe(*admin, core.PolicyHandler(lb.ctl)); err != nil {
+			fmt.Printf("hermes-lb: admin API on %s\n", cfg.AdminListen)
+			srv := &http.Server{Addr: cfg.AdminListen, Handler: proxy.AdminHandler(p)}
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "hermes-lb: admin:", err)
 			}
 		}()
 	}
 	if *statsEvery > 0 {
-		go lb.reportStats(*statsEvery)
+		go reportStats(p, *statsEvery)
 	}
-	fmt.Printf("hermes-lb: %d workers proxying %s -> %s\n", *workers, lb.addr(), *backends)
+	fmt.Printf("hermes-lb: %d workers proxying %s (%s policy, %d backends)\n",
+		cfg.Workers, p.Addr(), cfg.Policy, len(cfg.Backends))
 
-	// Block until interrupted, then shut down cleanly: stop accepting,
-	// flush a final telemetry snapshot (a periodic reporter alone would
-	// drop everything since its last tick), and write the span dump.
+	// Block until interrupted, then drain gracefully: stop accepting, wait
+	// out in-flight requests up to the drain deadline, flush a final
+	// telemetry snapshot, and write the span dump.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nhermes-lb: shutting down")
-	lb.close()
+	fmt.Printf("\nhermes-lb: draining (deadline %s)\n", cfg.DrainTimeout)
+	code := 0
+	if err := p.Shutdown(cfg.DrainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+		code = 1
+	}
 	if *statsEvery > 0 {
-		lb.printStats()
+		printStats(p)
 	}
 	if tracer != nil {
 		if err := writeTrace(*trace, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "hermes-lb:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("hermes-lb: span dump written to %s\n", *trace)
 	}
-}
-
-// proxy is the real-socket LB.
-type proxy struct {
-	ln       net.Listener
-	backends []string
-	ctl      *core.Controller
-	workers  []*pworker
-	rrSeq    atomic.Uint32
-	hashSeq  atomic.Uint32
-
-	// reg collects the proxy's live telemetry (-stats-every reporter).
-	reg       *telemetry.Registry
-	handled   *telemetry.CounterVec
-	latencyNS *telemetry.Histogram
-	upErrors  *telemetry.Counter
-
-	// ktr traces connection steering (-trace); nil disables recording.
-	ktr     *tracing.KernelTrace
-	connSeq atomic.Uint64
-
-	// Served counts proxied requests; Errors upstream failures.
-	Served atomic.Uint64
-	Errors atomic.Uint64
-}
-
-// tracedConn carries a queued connection plus the identity the flight
-// recorder spans it under (id 0 when tracing is off).
-type tracedConn struct {
-	c     net.Conn
-	id    uint64
-	estNS int64 // steering time: the accept-queue span starts here
-}
-
-type pworker struct {
-	id      int
-	p       *proxy
-	hook    *core.WorkerHook
-	queue   chan tracedConn
-	tr      *tracing.WorkerTrace
-	prevQ   int // last queue depth folded into the busy metric
-	handled *telemetry.Counter
-	// Handled counts requests this worker proxied.
-	Handled atomic.Uint64
-	// Delay injects extra latency per request (demo poisoning).
-	Delay atomic.Int64
-	// hangUntilNS, while in the future, stalls the worker at its next loop
-	// iteration without touching the WST — the loop-enter timestamp goes
-	// stale exactly as a real hang's would (injected fault).
-	hangUntilNS atomic.Int64
-}
-
-// maybeHang blocks until the injected hang deadline passes (no-op when
-// none is set). Called before LoopEnter so the stall is visible to the
-// scheduler as staleness, the paper's FilterTime signal.
-func (w *pworker) maybeHang() {
-	for {
-		d := w.hangUntilNS.Load() - time.Now().UnixNano()
-		if d <= 0 {
-			return
-		}
-		time.Sleep(time.Duration(d))
-	}
-}
-
-func newProxy(listen string, backends []string, workers int, tracer *tracing.Tracer) (*proxy, error) {
-	reg := telemetry.NewRegistry()
-	inst, err := core.New(workers, core.DefaultConfig(), core.WithInstruments(core.Instruments{
-		Recomputes: reg.Counter(telemetry.Metric{Name: "core.schedule.recomputes", Layer: "core", Unit: "passes"}),
-		Syncs:      reg.Counter(telemetry.Metric{Name: "core.schedule.syncs", Layer: "core", Unit: "syscalls"}),
-		WSTReads:   reg.Counter(telemetry.Metric{Name: "core.schedule.wst_reads", Layer: "core", Unit: "rows"}),
-		EmptySets:  reg.Counter(telemetry.Metric{Name: "core.schedule.empty_sets", Layer: "core", Unit: "passes"}),
-		Passed:     reg.Histogram(telemetry.Metric{Name: "core.schedule.passed", Layer: "core", Unit: "workers"}, telemetry.CountBuckets(64)),
-	}))
-	if err != nil {
-		return nil, err
-	}
-	ctl, ok := inst.(*core.Controller)
-	if !ok {
-		return nil, fmt.Errorf("hermes-lb: worker count %d needs the grouped deployment; cap at 64", workers)
-	}
-	ln, err := net.Listen("tcp", listen)
-	if err != nil {
-		return nil, err
-	}
-	p := &proxy{ln: ln, backends: backends, ctl: ctl, reg: reg, ktr: tracer.KernelTrace()}
-	p.handled = reg.CounterVec(telemetry.Metric{Name: "l7lb.worker.requests_served", Layer: "l7lb", Unit: "reqs"}, workers)
-	p.latencyNS = reg.Histogram(telemetry.Metric{Name: "l7lb.request_latency_ns", Layer: "l7lb", Unit: "ns"}, telemetry.DurationBuckets())
-	p.upErrors = reg.Counter(telemetry.Metric{Name: "l7lb.upstream_errors", Layer: "l7lb", Unit: "errors"})
-	for i := 0; i < workers; i++ {
-		w := &pworker{id: i, p: p, hook: ctl.NewWorkerHook(i), queue: make(chan tracedConn, 512),
-			tr: tracer.WorkerTrace(i), handled: p.handled.At(i)}
-		w.hook.LoopEnter(time.Now().UnixNano())
-		p.workers = append(p.workers, w)
-		go w.run()
-	}
-	p.workers[0].hook.ScheduleAndSync(time.Now().UnixNano())
-	go p.acceptLoop()
-	return p, nil
+	return code
 }
 
 // reportStats periodically prints the telemetry catalog (the real-socket
 // twin of hermes-bench -metrics). Shutdown paths call printStats once more
 // so the final partial interval is never lost.
-func (p *proxy) reportStats(every time.Duration) {
+func reportStats(p *proxy.Proxy, every time.Duration) {
 	for range time.Tick(every) {
-		p.printStats()
+		printStats(p)
 	}
 }
 
-// printStats prints one telemetry snapshot.
-func (p *proxy) printStats() {
-	snap := p.reg.Snapshot()
+func printStats(p *proxy.Proxy) {
+	snap := p.Registry().Snapshot()
 	fmt.Printf("--- telemetry %s ---\n%s", time.Now().Format(time.RFC3339), snap.Text())
 }
 
@@ -242,326 +193,56 @@ func writeTrace(path string, tr *tracing.Tracer) error {
 	return err
 }
 
-func (p *proxy) addr() string { return p.ln.Addr().String() }
-
-func (p *proxy) close() { p.ln.Close() }
-
-// acceptLoop is the kernel-dispatch stand-in: scaled-hash selection over the
-// live bitmap, hash fallback below MinWorkers (Algorithm 2).
-func (p *proxy) acceptLoop() {
-	for {
-		conn, err := p.ln.Accept()
-		if err != nil {
-			for _, w := range p.workers {
-				close(w.queue)
-			}
-			return
-		}
-		bitmap, _ := p.ctl.SelMap().Lookup(0)
-		h := p.hashSeq.Add(2654435761)
-		via := tracing.ViaProg
-		wi, ok := core.NativeSelect(bitmap, h, p.ctl.Config().MinWorkers)
-		if !ok {
-			via = tracing.ViaFallback
-			wi = int(h) % len(p.workers)
-			if wi < 0 {
-				wi = -wi
-			}
-		}
-		tc := tracedConn{c: conn, id: p.connSeq.Add(1), estNS: time.Now().UnixNano()}
-		p.ktr.ConnEstablished(tc.id, tc.estNS, int32(wi), via)
-		p.workers[wi].queue <- tc
-	}
-}
-
-func (w *pworker) run() {
-	buf := make([]byte, 64<<10)
-	for tc := range w.queue {
-		w.maybeHang()
-		now := time.Now().UnixNano()
-		w.hook.LoopEnter(now)
-		// Fold the channel backlog into the pending-event metric: queued
-		// connections are this worker's kernel-side accept queue.
-		q := len(w.queue) + 1
-		w.hook.EventsFetched(q - w.prevQ)
-		w.prevQ = q - 1
-		w.hook.ConnOpened()
-		w.tr.Accept(tc.id, tc.estNS, now)
-		w.serve(tc, buf)
-		w.tr.Close(tc.id, time.Now().UnixNano(), false)
-		w.hook.ConnClosed()
-		w.hook.EventHandled()
-		w.hook.ScheduleAndSync(time.Now().UnixNano())
-	}
-}
-
-func (w *pworker) serve(tc tracedConn, buf []byte) {
-	conn := tc.c
-	defer conn.Close()
-	pending := 0
-	for {
-		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-		n, err := conn.Read(buf[pending:])
-		if err != nil {
-			return
-		}
-		arrivalNS := time.Now().UnixNano()
-		pending += n
-		for {
-			req, consumed, perr := httpx.ParseRequest(buf[:pending])
-			if perr == httpx.ErrIncomplete {
-				break
-			}
-			if perr != nil {
-				w.reply(conn, &httpx.Response{Status: 400})
-				return
-			}
-			copy(buf, buf[consumed:pending])
-			pending -= consumed
-
-			w.hook.EventsFetched(1)
-			if d := w.Delay.Load(); d > 0 {
-				time.Sleep(time.Duration(d))
-			}
-			start := time.Now()
-			resp := w.forward(req)
-			w.hook.EventHandled()
-			w.Handled.Add(1)
-			w.handled.Inc()
-			w.p.latencyNS.Observe(time.Since(start).Nanoseconds())
-			w.tr.Serve(tc.id, arrivalNS, start.UnixNano(), time.Now().UnixNano(), false)
-			if _, err := conn.Write(resp.Append(nil)); err != nil {
-				return
-			}
-			if !req.WantsKeepAlive() {
-				return
-			}
-		}
-		w.hook.LoopEnter(time.Now().UnixNano())
-		w.hook.ScheduleAndSync(time.Now().UnixNano())
-	}
-}
-
-// forward proxies one request to a round-robin backend.
-func (w *pworker) forward(req *httpx.Request) *httpx.Response {
-	backend := w.p.backends[int(w.p.rrSeq.Add(1))%len(w.p.backends)]
-	up, err := net.DialTimeout("tcp", backend, 2*time.Second)
+// runStubBackend serves a trivial HTTP/1.1 upstream: 200 to everything
+// (including health probes), body naming the instance — enough to smoke-test
+// the proxy without a second binary.
+func runStubBackend(addr string) int {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		w.p.Errors.Add(1)
-		w.p.upErrors.Inc()
-		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
+		fmt.Fprintln(os.Stderr, "hermes-lb:", err)
+		return 1
 	}
-	defer up.Close()
-
-	fwd := *req
-	fwd.Headers = append(append([]httpx.Header(nil), req.Headers...),
-		httpx.Header{Name: "X-Forwarded-By", Value: fmt.Sprintf("hermes-lb/w%d", w.id)},
-		httpx.Header{Name: "Connection", Value: "close"},
-	)
-	if _, err := up.Write(fwd.Append(nil)); err != nil {
-		w.p.Errors.Add(1)
-		w.p.upErrors.Inc()
-		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
-	}
-	_ = up.SetReadDeadline(time.Now().Add(5 * time.Second))
-	data, err := io.ReadAll(up)
-	if err != nil && len(data) == 0 {
-		w.p.Errors.Add(1)
-		w.p.upErrors.Inc()
-		return &httpx.Response{Status: 502, Body: []byte(err.Error())}
-	}
-	resp, _, perr := httpx.ParseResponse(data)
-	if perr != nil {
-		w.p.Errors.Add(1)
-		w.p.upErrors.Inc()
-		return &httpx.Response{Status: 502, Body: []byte(perr.Error())}
-	}
-	w.p.Served.Add(1)
-	return resp
-}
-
-func (w *pworker) reply(conn net.Conn, resp *httpx.Response) {
-	_, _ = conn.Write(resp.Append(nil))
-}
-
-// applyFaults arms a wall-clock translation of the sim fault schedule on
-// the real proxy: hangs and slowdowns map directly; a crash is approximated
-// as a stall until its restart delay (goroutines cannot be SIGKILLed);
-// queue, selmap, and probe faults have no real-socket analogue here and are
-// skipped with a note.
-func applyFaults(p *proxy, sched faults.Schedule) {
-	for _, ev := range sched.Events {
-		ev := ev
-		time.AfterFunc(time.Duration(ev.AtNS), func() {
-			w := p.victim(ev.Worker)
-			switch ev.Kind {
-			case faults.Hang:
-				w.hangUntilNS.Store(time.Now().UnixNano() + ev.DurNS)
-				fmt.Printf("faults: hang w%d for %s\n", w.id, time.Duration(ev.DurNS))
-			case faults.Crash:
-				dur := ev.RestartNS
-				if dur == 0 {
-					dur = int64(time.Hour)
-				}
-				w.hangUntilNS.Store(time.Now().UnixNano() + dur)
-				fmt.Printf("faults: crash w%d (stall until restart %s)\n", w.id, time.Duration(dur))
-			case faults.Slow:
-				// Poison per-request latency instead of scaling CPU: the
-				// proxy's cost is dominated by the upstream round trip.
-				const base = 5 * time.Millisecond
-				w.Delay.Store(int64(float64(base) * (ev.Factor - 1)))
-				fmt.Printf("faults: slow w%d x%g for %s\n", w.id, ev.Factor, time.Duration(ev.DurNS))
-				if ev.DurNS > 0 {
-					time.AfterFunc(time.Duration(ev.DurNS), func() { w.Delay.Store(0) })
-				}
-			default:
-				fmt.Printf("faults: %s has no real-socket analogue, skipped\n", ev.Kind)
-			}
-		})
-	}
-}
-
-// victim resolves a fault's target: a pinned worker id, else the busiest
-// worker (deepest queue, then most requests handled) at fire time.
-func (p *proxy) victim(id int) *pworker {
-	if id >= 0 && id < len(p.workers) {
-		return p.workers[id]
-	}
-	best := p.workers[0]
-	for _, w := range p.workers[1:] {
-		if len(w.queue) > len(best.queue) ||
-			(len(w.queue) == len(best.queue) && w.Handled.Load() > best.Handled.Load()) {
-			best = w
-		}
-	}
-	return best
-}
-
-// runDemo spins up two trivial backends, the proxy, and a client fleet, with
-// one worker poisoned halfway through to show the bitmap steering around it.
-func runDemo(workers, requests int, statsEvery time.Duration, tracer *tracing.Tracer, tracePath string, sched faults.Schedule) {
-	backendAddrs := make([]string, 2)
-	for i := range backendAddrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	fmt.Printf("hermes-lb: stub backend on %s\n", ln.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ln.Close()
+	}()
+	for {
+		c, err := ln.Accept()
 		if err != nil {
-			panic(err)
+			return 0
 		}
-		backendAddrs[i] = ln.Addr().String()
-		id := i
-		go func() {
+		go func(c net.Conn) {
+			defer c.Close()
+			buf := make([]byte, 64<<10)
+			pending := 0
 			for {
-				c, err := ln.Accept()
+				_ = c.SetReadDeadline(time.Now().Add(10 * time.Second))
+				n, err := c.Read(buf[pending:])
 				if err != nil {
 					return
 				}
-				go func(c net.Conn) {
-					defer c.Close()
-					buf := make([]byte, 32<<10)
-					n, _ := c.Read(buf)
-					if _, _, err := httpx.ParseRequest(buf[:n]); err != nil {
-						return
-					}
-					resp := httpx.Response{Status: 200, Body: []byte(fmt.Sprintf("hello from backend %d", id))}
-					_, _ = c.Write(resp.Append(nil))
-				}(c)
-			}
-		}()
-	}
-
-	p, err := newProxy("127.0.0.1:0", backendAddrs, workers, tracer)
-	if err != nil {
-		panic(err)
-	}
-	defer p.close()
-	applyFaults(p, sched)
-	fmt.Printf("demo: %d workers, proxy %s, backends %v\n", workers, p.addr(), backendAddrs)
-	if statsEvery > 0 {
-		go p.reportStats(statsEvery)
-	}
-
-	// Steady closed-loop load: a fixed client pool keeps the proxy busy so
-	// the poisoned worker's backlog and stale loop timestamp are visible to
-	// the schedulers (wave-style load would let everyone look idle between
-	// waves and defeat the feedback loop).
-	const clientPool = 24
-	var wg sync.WaitGroup
-	var ok, bad, issued atomic.Uint64
-	poisonAt := uint64(requests / 2)
-	for c := 0; c < clientPool; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := issued.Add(1)
-				if i > uint64(requests) {
+				pending += n
+				req, consumed, perr := httpx.ParseRequest(buf[:pending])
+				if perr == httpx.ErrIncomplete {
+					continue
+				}
+				if perr != nil {
 					return
 				}
-				if i == poisonAt {
-					p.workers[workers-1].Delay.Store(int64(25 * time.Millisecond))
-					fmt.Printf("poisoning worker %d at request %d\n", workers-1, i)
+				copy(buf, buf[consumed:pending])
+				pending -= consumed
+				resp := httpx.Response{Status: 200,
+					Body: []byte(fmt.Sprintf("hello from %s (%s)", ln.Addr(), req.Target))}
+				if _, err := c.Write(resp.Append(nil)); err != nil {
+					return
 				}
-				if err := demoRequest(p.addr(), int(i)); err != nil {
-					bad.Add(1)
-				} else {
-					ok.Add(1)
+				if !req.WantsKeepAlive() {
+					return
 				}
 			}
-		}()
+		}(c)
 	}
-	wg.Wait()
-
-	fmt.Printf("\nrequests: %d ok, %d failed; upstream errors: %d\n", ok.Load(), bad.Load(), p.Errors.Load())
-	fmt.Printf("%-8s %-10s\n", "worker", "handled")
-	for i, w := range p.workers {
-		note := ""
-		if i == workers-1 {
-			note = "  <- poisoned after halfway"
-		}
-		fmt.Printf("w%-7d %-10d%s\n", i, w.Handled.Load(), note)
-	}
-	st := p.ctl.Stats()
-	fmt.Printf("scheduler passes: %d, avg workers selected: %.1f\n", st.ScheduleCalls, st.AvgPassed)
-	if statsEvery > 0 {
-		// Final snapshot: the periodic reporter would drop the tail of the
-		// run (everything since its last tick).
-		p.printStats()
-	}
-	if tracer != nil {
-		if err := writeTrace(tracePath, tracer); err != nil {
-			panic(err)
-		}
-		fmt.Printf("span dump written to %s\n", tracePath)
-	}
-}
-
-func demoRequest(addr string, i int) error {
-	conn, err := net.DialTimeout("tcp", addr, time.Second)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	req := httpx.Request{
-		Method: "GET",
-		Target: fmt.Sprintf("/demo/%d", i),
-		Headers: []httpx.Header{
-			{Name: "Host", Value: "demo"},
-			{Name: "Connection", Value: "close"},
-		},
-	}
-	if _, err := conn.Write(req.Append(nil)); err != nil {
-		return err
-	}
-	_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
-	data, err := io.ReadAll(conn)
-	if err != nil && len(data) == 0 {
-		return err
-	}
-	resp, _, perr := httpx.ParseResponse(data)
-	if perr != nil {
-		return perr
-	}
-	if resp.Status != 200 {
-		return fmt.Errorf("status %d", resp.Status)
-	}
-	return nil
 }

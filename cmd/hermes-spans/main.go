@@ -152,8 +152,9 @@ func analyze(spans []tracing.Span) *analysis {
 			if s.Arg2 != 0 {
 				a.overflow++
 			}
-		case tracing.KindSchedule, tracing.KindSelmapSync, tracing.KindFault:
-			// Control-plane instants; not part of any connection chain.
+		case tracing.KindSchedule, tracing.KindSelmapSync, tracing.KindFault,
+			tracing.KindProbe, tracing.KindBackendState:
+			// Control-plane events; not part of any connection chain.
 		default:
 			c := get(s.Conn)
 			c.spans = append(c.spans, s)

@@ -1,0 +1,184 @@
+// Command hermesctl inspects a running hermes-lb through its admin REST API.
+//
+//	hermesctl -admin 127.0.0.1:9900 status     # pool availability (exit 1 when unavailable)
+//	hermesctl -admin 127.0.0.1:9900 backends   # per-backend health, counters, circuit state
+//	hermesctl -admin 127.0.0.1:9900 stats      # request/retry/latency + scheduler state
+//	hermesctl -admin 127.0.0.1:9900 circuits   # per-backend breaker snapshots
+//
+// -json prints the raw admin-API response instead of the text rendering.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hermes/internal/proxy"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errW io.Writer) int {
+	fs := flag.NewFlagSet("hermesctl", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	admin := fs.String("admin", "127.0.0.1:9900", "hermes-lb admin API address")
+	asJSON := fs.Bool("json", false, "print the raw admin-API JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(errW, "usage: hermesctl [-admin host:port] [-json] status|backends|stats|circuits")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	cmd := fs.Arg(0)
+
+	path, ok := map[string]string{
+		"status":   "/healthz",
+		"backends": "/backends",
+		"stats":    "/stats",
+		"circuits": "/circuits",
+	}[cmd]
+	if !ok {
+		fmt.Fprintf(errW, "hermesctl: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+
+	body, httpStatus, err := fetch(*admin, path)
+	if err != nil {
+		fmt.Fprintln(errW, "hermesctl:", err)
+		return 1
+	}
+	if *asJSON {
+		fmt.Fprintln(out, strings.TrimRight(string(body), "\n"))
+		return exitFor(cmd, httpStatus)
+	}
+	if err := render(cmd, body, out); err != nil {
+		fmt.Fprintln(errW, "hermesctl:", err)
+		return 1
+	}
+	return exitFor(cmd, httpStatus)
+}
+
+// exitFor maps the HTTP status to the process exit code: status reports an
+// unavailable/draining pool (503) as exit 1 so scripts can gate on it.
+func exitFor(cmd string, httpStatus int) int {
+	if cmd == "status" && httpStatus != http.StatusOK {
+		return 1
+	}
+	return 0
+}
+
+func fetch(admin, path string) ([]byte, int, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + admin + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+func render(cmd string, body []byte, out io.Writer) error {
+	switch cmd {
+	case "status":
+		var v proxy.HealthzView
+		if err := json.Unmarshal(body, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "status:    %s\n", v.Status)
+		fmt.Fprintf(out, "backends:  %d/%d available\n", v.Available, v.Backends)
+		fmt.Fprintf(out, "workers:   %d\n", v.Workers)
+		fmt.Fprintf(out, "uptime:    %s\n", time.Duration(v.UptimeSec)*time.Second)
+	case "backends":
+		var bs []proxy.BackendView
+		if err := json.Unmarshal(body, &bs); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-4s %-22s %-7s %-9s %-7s %-9s %-7s %-10s %s\n",
+			"IDX", "ADDRESS", "WEIGHT", "HEALTHY", "ACTIVE", "REQUESTS", "ERRORS", "CIRCUIT", "REASON")
+		for _, b := range bs {
+			healthy := "yes"
+			if !b.Healthy {
+				healthy = "NO"
+			}
+			circuit := "-"
+			if b.Circuit != nil {
+				circuit = b.Circuit.State
+			}
+			fmt.Fprintf(out, "%-4d %-22s %-7d %-9s %-7d %-9d %-7d %-10s %s\n",
+				b.Index, b.Address, b.Weight, healthy, b.Active, b.Requests, b.Errors, circuit, b.Reason)
+		}
+	case "stats":
+		var v proxy.StatsView
+		if err := json.Unmarshal(body, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "uptime:              %.1fs\n", v.UptimeSec)
+		fmt.Fprintf(out, "policy:              %s\n", v.Policy)
+		fmt.Fprintf(out, "served:              %d\n", v.Served)
+		fmt.Fprintf(out, "errors:              %d\n", v.Errors)
+		fmt.Fprintf(out, "unavailable (503):   %d\n", v.Unavailable)
+		if v.LatencyP50MS != nil && v.LatencyP99MS != nil {
+			fmt.Fprintf(out, "latency p50/p99:     %.2fms / %.2fms\n", *v.LatencyP50MS, *v.LatencyP99MS)
+		} else {
+			fmt.Fprintf(out, "latency p50/p99:     - / -\n")
+		}
+		fmt.Fprintf(out, "retries:             %d attempted, %d recovered, %d exhausted\n",
+			v.RetryAttempts, v.RetryRecovered, v.RetryExhausted)
+		fmt.Fprintf(out, "circuit rejections:  %d\n", v.CircuitRejections)
+		fmt.Fprintf(out, "health probes:       %d (%d transitions)\n", v.HealthProbes, v.HealthTransitions)
+		fmt.Fprintf(out, "worker handled:      %v\n", v.WorkerHandled)
+		s := v.Scheduler
+		fmt.Fprintf(out, "scheduler:           %d passes, %d syncs (%d batched), avg %.1f selected, %d empty\n",
+			s.ScheduleCalls, s.Syncs, s.Batched, s.AvgPassed, s.EmptySets)
+		fmt.Fprintf(out, "selection bitmap:    %0*b (available mask %0*b)\n",
+			v.Workers, s.SelectionBitmap, v.Workers, s.AvailableMask)
+	case "circuits":
+		var cs map[string]proxy.CircuitView
+		if err := json.Unmarshal(body, &cs); err != nil {
+			return err
+		}
+		if len(cs) == 0 {
+			fmt.Fprintln(out, "circuit breaking disabled")
+			return nil
+		}
+		addrs := make([]string, 0, len(cs))
+		for a := range cs {
+			addrs = append(addrs, a)
+		}
+		// Stable order for scripting and golden tests.
+		for i := 0; i < len(addrs); i++ {
+			for j := i + 1; j < len(addrs); j++ {
+				if addrs[j] < addrs[i] {
+					addrs[i], addrs[j] = addrs[j], addrs[i]
+				}
+			}
+		}
+		fmt.Fprintf(out, "%-22s %-10s %-6s %-6s %-11s %-7s %s\n",
+			"ADDRESS", "STATE", "FAILS", "OPENS", "HALF-OPENS", "CLOSES", "OPEN-FOR")
+		for _, a := range addrs {
+			c := cs[a]
+			openFor := "-"
+			if c.State != "closed" {
+				openFor = fmt.Sprintf("%.1fs", c.OpenForMS/1000)
+			}
+			fmt.Fprintf(out, "%-22s %-10s %-6d %-6d %-11d %-7d %s\n",
+				a, c.State, c.Fails, c.Opens, c.HalfOpens, c.Closes, openFor)
+		}
+	}
+	return nil
+}

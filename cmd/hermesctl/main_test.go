@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// stubAdmin serves canned admin-API responses for golden tests.
+func stubAdmin(t *testing.T) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	serve := func(path string, status int, body string) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_, _ = w.Write([]byte(body))
+		})
+	}
+	serve("/healthz", 200, `{"status":"degraded","backends":2,"available":1,"workers":4,"uptime_sec":61}`)
+	serve("/backends", 200, `[
+  {"index":0,"address":"127.0.0.1:9001","weight":3,"healthy":true,"active":2,"requests":120,"errors":1,"last_probe_ok":true,"circuit":{"state":"closed","consecutive_fails":0,"opens":0,"half_opens":0,"closes":0}},
+  {"index":1,"address":"127.0.0.1:9002","weight":1,"healthy":false,"down_reason":"active","active":0,"requests":40,"errors":9,"last_probe_ok":false,"circuit":{"state":"open","consecutive_fails":5,"opens":1,"half_opens":0,"closes":0,"open_for_ms":2500}}
+]`)
+	serve("/stats", 200, `{"uptime_sec":61.5,"policy":"weighted","workers":4,"served":160,"errors":2,"unavailable":1,
+  "latency_p50_ms":1.25,"latency_p99_ms":9.5,
+  "retry_attempts":12,"retry_recovered":10,"retry_exhausted":2,
+  "circuit_rejections":7,"health_probes":60,"health_transitions":2,
+  "worker_handled":[40,41,39,40],
+  "scheduler":{"schedule_calls":500,"syncs":480,"batched":20,"avg_passed":3.5,"empty_sets":0,"selection_bitmap":11,"available_mask":15}}`)
+	serve("/circuits", 200, `{
+  "127.0.0.1:9002":{"state":"open","consecutive_fails":5,"opens":1,"half_opens":0,"closes":0,"open_for_ms":2500},
+  "127.0.0.1:9001":{"state":"closed","consecutive_fails":0,"opens":0,"half_opens":0,"closes":0}
+}`)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func runCtl(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errW bytes.Buffer
+	code := run(args, &out, &errW)
+	return out.String(), errW.String(), code
+}
+
+func TestStatusText(t *testing.T) {
+	addr := stubAdmin(t)
+	out, _, code := runCtl(t, "-admin", addr, "status")
+	want := `status:    degraded
+backends:  1/2 available
+workers:   4
+uptime:    1m1s
+`
+	if out != want {
+		t.Errorf("status output:\n%q\nwant:\n%q", out, want)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 (degraded is still serving)", code)
+	}
+}
+
+func TestBackendsText(t *testing.T) {
+	addr := stubAdmin(t)
+	out, _, code := runCtl(t, "-admin", addr, "backends")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("output lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "IDX") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "127.0.0.1:9001") || !strings.Contains(lines[1], "yes") ||
+		!strings.Contains(lines[1], "closed") {
+		t.Errorf("healthy row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "127.0.0.1:9002") || !strings.Contains(lines[2], "NO") ||
+		!strings.Contains(lines[2], "open") || !strings.Contains(lines[2], "active") {
+		t.Errorf("unhealthy row = %q", lines[2])
+	}
+}
+
+func TestStatsText(t *testing.T) {
+	addr := stubAdmin(t)
+	out, _, code := runCtl(t, "-admin", addr, "stats")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{
+		"policy:              weighted",
+		"served:              160",
+		"latency p50/p99:     1.25ms / 9.50ms",
+		"retries:             12 attempted, 10 recovered, 2 exhausted",
+		"circuit rejections:  7",
+		"worker handled:      [40 41 39 40]",
+		"500 passes, 480 syncs (20 batched), avg 3.5 selected, 0 empty",
+		"selection bitmap:    1011 (available mask 1111)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCircuitsTextSorted(t *testing.T) {
+	addr := stubAdmin(t)
+	out, _, code := runCtl(t, "-admin", addr, "circuits")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	i1 := strings.Index(out, "127.0.0.1:9001")
+	i2 := strings.Index(out, "127.0.0.1:9002")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Errorf("circuits not sorted by address:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5s") {
+		t.Errorf("open-for rendering missing:\n%s", out)
+	}
+}
+
+func TestJSONPassThrough(t *testing.T) {
+	addr := stubAdmin(t)
+	out, _, code := runCtl(t, "-admin", addr, "-json", "status")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, `"status":"degraded"`) {
+		t.Errorf("-json did not pass the body through: %q", out)
+	}
+}
+
+func TestStatusExitCodeOnUnavailable(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"unavailable","backends":1,"available":0,"workers":2}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	out, _, code := runCtl(t, "-admin", addr, "status")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 for an unavailable pool", code)
+	}
+	if !strings.Contains(out, "unavailable") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, _, code := runCtl(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if _, errS, code := runCtl(t, "-admin", "127.0.0.1:1", "reboot"); code != 2 || !strings.Contains(errS, "unknown command") {
+		t.Errorf("unknown command: exit %d, err %q", code, errS)
+	}
+	// Unreachable admin is a runtime error, not usage.
+	if _, _, code := runCtl(t, "-admin", "127.0.0.1:1", "stats"); code != 1 {
+		t.Errorf("unreachable admin: exit %d, want 1", code)
+	}
+}

@@ -66,8 +66,9 @@ func (sc *syncCache) store(nowNS int64, gen uint64, res ScheduleResult) {
 type Controller struct {
 	cfg          atomic.Pointer[Config]
 	order        atomic.Int32
-	fallback     atomic.Bool // force reuseport fallback (publish empty bitmap)
-	singleWinner atomic.Bool // ablation: publish only the single best worker
+	fallback     atomic.Bool   // force reuseport fallback (publish empty bitmap)
+	singleWinner atomic.Bool   // ablation: publish only the single best worker
+	availMask    atomic.Uint64 // bit i clear = worker i vetoed from every published bitmap
 	wst          *shm.WST
 	sel          *ebpf.ArrayMap
 
@@ -105,9 +106,42 @@ func NewController(n int, cfg Config) (*Controller, error) {
 		sel: ebpf.NewArrayMap(1),
 	}
 	c.cfg.Store(&cfg)
+	c.availMask.Store(^uint64(0))
 	c.cache.init()
 	return c, nil
 }
+
+// SetWorkerAvailable vetoes (ok=false) or re-admits (ok=true) one worker in
+// every bitmap the scheduler publishes. The veto is ANDed onto Algorithm 1's
+// result after the cascade, so an external availability signal — backend
+// health, circuit state, a drain in progress — flows through the same
+// selection map the kernel dispatch program reads: worker-load steering and
+// availability become one decision. Vetoing everyone yields the empty set,
+// i.e. the kernel's reuseport-hash fallback (Algorithm 2), never a black
+// hole. Takes effect on the next schedule_and_sync even mid-quantum.
+func (c *Controller) SetWorkerAvailable(id int, ok bool) error {
+	if id < 0 || id >= c.Workers() {
+		return fmt.Errorf("core: worker %d outside 0..%d", id, c.Workers()-1)
+	}
+	for {
+		old := c.availMask.Load()
+		next := old | 1<<uint(id)
+		if !ok {
+			next = old &^ (1 << uint(id))
+		}
+		if old == next {
+			return nil
+		}
+		if c.availMask.CompareAndSwap(old, next) {
+			c.polGen.Add(1)
+			return nil
+		}
+	}
+}
+
+// AvailableMask returns the current availability veto mask (bit i set =
+// worker i eligible).
+func (c *Controller) AvailableMask() uint64 { return c.availMask.Load() }
 
 // SetFilterOrder overrides the filter cascade (ablations, live policy).
 func (c *Controller) SetFilterOrder(o FilterOrder) {
@@ -252,6 +286,17 @@ func (c *Controller) scheduleAndSync(nowNS int64, buf []shm.Metrics) (ScheduleRe
 		res = ScheduleSingleWinner(nowNS, buf, *cfg)
 	default:
 		res = Schedule(nowNS, buf, *cfg, FilterOrder(c.order.Load()))
+	}
+
+	// Availability veto (SetWorkerAvailable): drop vetoed workers from the
+	// published set. Applied after the cascade so the veto and the load
+	// filters land in the same bitmap; all-ones (the default) skips the
+	// branch entirely, keeping the unvetoed path bit-for-bit unchanged.
+	if mask := c.availMask.Load(); mask != ^uint64(0) {
+		if bm := uint64(res.Bitmap) & mask; bm != uint64(res.Bitmap) {
+			res.Bitmap = bitops.Bitmap64(bm)
+			res.Passed = bitops.PopCount64(bm)
+		}
 	}
 
 	c.scheduleCalls.Add(1)

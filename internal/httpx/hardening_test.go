@@ -1,0 +1,125 @@
+package httpx
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A proxy feeds this parser partial reads; every prefix of a valid response
+// must report ErrIncomplete, never a spurious success or ErrMalformed.
+func TestParseResponseIncompleteDrip(t *testing.T) {
+	full := "HTTP/1.1 200 OK\r\nContent-Length: 6\r\nServer: b1\r\n\r\nstream"
+	for cut := 0; cut < len(full); cut++ {
+		resp, _, err := ParseResponse([]byte(full[:cut]))
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("cut=%d: resp=%v err=%v, want ErrIncomplete", cut, resp, err)
+		}
+	}
+	resp, n, err := ParseResponse([]byte(full))
+	if err != nil || n != len(full) || string(resp.Body) != "stream" {
+		t.Fatalf("full parse: %+v n=%d err=%v", resp, n, err)
+	}
+}
+
+func TestParseResponseMalformed(t *testing.T) {
+	cases := []string{
+		"HTTP/1.1\r\n\r\n",                               // no status code
+		"HTTP/1.1 20x OK\r\n\r\n",                        // non-numeric status
+		"HTTP/1.1 42 Answer\r\n\r\n",                     // status below 100
+		"HTTP/1.1 200 OK\r\nBad Header: x\r\n\r\n",       // space in header name
+		"HTTP/1.1 200 OK\r\nNoColon\r\n\r\n",             // header without colon
+		"HTTP/1.1 200 OK\r\nContent-Length: two\r\n\r\n", // non-numeric length
+		"HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n",  // negative length
+	}
+	for _, c := range cases {
+		if _, _, err := ParseResponse([]byte(c)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%q: err = %v, want ErrMalformed", c, err)
+		}
+	}
+}
+
+// A Content-Length too large for int must be rejected as malformed, not
+// wrapped into a negative size or treated as incomplete forever.
+func TestContentLengthOverflow(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n"
+	if _, _, err := ParseRequest([]byte(raw)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overflowing Content-Length: %v, want ErrMalformed", err)
+	}
+	resp := "HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999\r\n\r\n"
+	if _, _, err := ParseResponse([]byte(resp)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overflowing response Content-Length: %v, want ErrMalformed", err)
+	}
+}
+
+// A huge declared body with only a prefix on the wire is incomplete — the
+// caller (the proxy's serve loop) enforces its own body cap and answers 413
+// before buffering the whole thing.
+func TestOversizedBodyDeclaredIncomplete(t *testing.T) {
+	raw := "POST /upload HTTP/1.1\r\nContent-Length: 10485760\r\n\r\n" + strings.Repeat("x", 1024)
+	if _, _, err := ParseRequest([]byte(raw)); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("partial oversized body: %v, want ErrIncomplete", err)
+	}
+}
+
+// The header-section bound is inclusive at exactly MaxHeaderBytes and
+// rejects one byte over, whether or not the terminator ever arrives.
+func TestHeaderBoundExact(t *testing.T) {
+	// Build a request whose CRLFCRLF lands exactly at index MaxHeaderBytes.
+	prefix := "GET / HTTP/1.1\r\nX-Pad: "
+	pad := MaxHeaderBytes - len(prefix)
+	atBound := prefix + strings.Repeat("a", pad) + "\r\n\r\n"
+	if _, _, err := ParseRequest([]byte(atBound)); err != nil {
+		t.Fatalf("header ending exactly at the bound rejected: %v", err)
+	}
+	overBound := prefix + strings.Repeat("a", pad+1) + "\r\n\r\n"
+	if _, _, err := ParseRequest([]byte(overBound)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("header one byte over the bound: %v, want ErrMalformed", err)
+	}
+}
+
+// Keep-alive upstream connections deliver back-to-back responses; each parse
+// must consume exactly one.
+func TestParsePipelinedResponses(t *testing.T) {
+	one := (&Response{Status: 200, Body: []byte("first")}).Append(nil)
+	two := (&Response{Status: 404, Body: []byte("second!")}).Append(nil)
+	wire := append(append([]byte(nil), one...), two...)
+
+	r1, n1, err := ParseResponse(wire)
+	if err != nil || r1.Status != 200 || string(r1.Body) != "first" {
+		t.Fatalf("first: %+v err=%v", r1, err)
+	}
+	r2, n2, err := ParseResponse(wire[n1:])
+	if err != nil || r2.Status != 404 || string(r2.Body) != "second!" {
+		t.Fatalf("second: %+v err=%v", r2, err)
+	}
+	if n1+n2 != len(wire) {
+		t.Fatalf("consumed %d+%d of %d", n1, n2, len(wire))
+	}
+}
+
+// Sloppy request lines (doubled spaces, missing target) must not slip
+// through as empty fields.
+func TestRequestLineWhitespace(t *testing.T) {
+	cases := []string{
+		"GET  / HTTP/1.1\r\n\r\n", // double space → empty target
+		"GET / \r\n\r\n",          // trailing space, no proto
+		"GET  HTTP/1.1\r\n\r\n",   // missing target entirely
+		"\r\n\r\n",                // empty request line
+	}
+	for _, c := range cases {
+		if req, _, err := ParseRequest([]byte(c)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%q: parsed %+v err=%v, want ErrMalformed", c, req, err)
+		}
+	}
+}
+
+// Zero-length bodies: Content-Length: 0 and absent Content-Length both
+// consume exactly the header section.
+func TestZeroLengthBody(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\nNEXT"
+	req, n, err := ParseRequest([]byte(raw))
+	if err != nil || len(req.Body) != 0 || n != len(raw)-len("NEXT") {
+		t.Fatalf("explicit zero body: %+v n=%d err=%v", req, n, err)
+	}
+}

@@ -211,6 +211,17 @@ func (lb *LB) Groups() []*kernel.ReuseportGroup { return lb.groups }
 // SharedSockets returns the shared listening sockets (shared-socket modes).
 func (lb *LB) SharedSockets() []*kernel.Socket { return lb.shared }
 
+// SetWorkerAvailable vetoes (ok=false) or restores (ok=true) one worker in
+// the published selection bitmap: the eviction path backend-health wiring and
+// graceful drains share (docs/PROXY.md). The veto is ANDed onto every
+// Algorithm-1 result until lifted; single-level deployments only.
+func (lb *LB) SetWorkerAvailable(id int, ok bool) error {
+	if lb.Ctl == nil {
+		return fmt.Errorf("l7lb: worker availability veto needs the single-level controller (≤64 workers, ungrouped)")
+	}
+	return lb.Ctl.SetWorkerAvailable(id, ok)
+}
+
 // TotalBusyNS sums worker busy time as of now (plus the dispatcher's, if
 // present).
 func (lb *LB) TotalBusyNS() int64 {

@@ -1,0 +1,298 @@
+package proxy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Backend health-state codes, exported in backend_state trace spans and the
+// admin API. Circuit transitions use 100+CircuitState so the two state
+// machines share one span kind without colliding.
+const (
+	stateUnhealthy int64 = 0
+	stateHealthy   int64 = 1
+	stateCircuit   int64 = 100
+)
+
+// Backend is one upstream server's runtime state.
+type Backend struct {
+	idx    int
+	addr   string
+	weight int
+
+	healthy atomic.Bool
+
+	// Active-probe streaks (health checker goroutine only).
+	probeOKs   int
+	probeFails int
+
+	// passiveFails counts consecutive upstream errors observed while
+	// proxying (any worker).
+	passiveFails atomic.Int32
+
+	// active is the in-flight proxied request count (least-conn metric).
+	active atomic.Int64
+
+	requests atomic.Uint64 // proxied requests completed
+	errors   atomic.Uint64 // upstream failures
+
+	lastProbeNS   atomic.Int64 // wall time of the last active probe (0 = never)
+	lastProbeOK   atomic.Bool
+	lastChangeNS  atomic.Int64 // wall time of the last health transition
+	downReason    atomic.Value // string: "active" | "passive" | ""
+	healthyGauge  func(int64)  // telemetry hook (nil = off)
+	circuit       *Circuit     // nil when circuit breaking is disabled
+	smoothCurrent int          // smooth-weighted-RR state (pool.mu)
+}
+
+// Addr returns the backend's dial address.
+func (b *Backend) Addr() string { return b.addr }
+
+// Healthy reports the combined active+passive health verdict.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Circuit returns the backend's breaker (nil when disabled).
+func (b *Backend) Circuit() *Circuit { return b.circuit }
+
+// available reports whether the pool may pick this backend at all: healthy
+// and not rejected by an open circuit. Half-open admission is checked at
+// pick time (it consumes a trial slot).
+func (b *Backend) available() bool {
+	if !b.healthy.Load() {
+		return false
+	}
+	if b.circuit != nil && b.circuit.State() == CircuitOpen {
+		return false
+	}
+	return true
+}
+
+// Pool is the shared backend pool: selection policy plus health/circuit
+// bookkeeping. Workers call Pick/Observe concurrently.
+type Pool struct {
+	backends []*Backend
+	policy   string
+	now      func() int64
+
+	// mu guards the weighted policy's smooth-RR state.
+	mu sync.Mutex
+	rr atomic.Uint32
+
+	// onTransition observes backend health flips (telemetry/trace wiring;
+	// nil = off). reason is "active" or "passive".
+	onTransition func(b *Backend, healthy bool, reason string)
+
+	// tel, when set, receives per-backend and circuit-rejection counts.
+	tel *Instruments
+
+	passiveThreshold int
+}
+
+// newPool builds the pool from validated config.
+func newPool(cfg Config, now func() int64) *Pool {
+	p := &Pool{
+		policy:           cfg.Policy,
+		now:              now,
+		passiveThreshold: cfg.HealthCheck.PassiveThreshold,
+	}
+	for i, bc := range cfg.Backends {
+		w := bc.Weight
+		if w < 1 {
+			w = 1
+		}
+		b := &Backend{idx: i, addr: bc.Address, weight: w}
+		// Backends start healthy: the first probe round or passive failures
+		// demote them, so a cold start never black-holes traffic.
+		b.healthy.Store(true)
+		b.downReason.Store("")
+		if cfg.CircuitBreaker.Enabled {
+			b.circuit = NewCircuit(cfg.CircuitBreaker, now)
+		}
+		p.backends = append(p.backends, b)
+	}
+	return p
+}
+
+// Backends returns the pool members (fixed after construction).
+func (p *Pool) Backends() []*Backend { return p.backends }
+
+// AvailableCount returns how many backends are currently pickable.
+func (p *Pool) AvailableCount() int {
+	n := 0
+	for _, b := range p.backends {
+		if b.available() {
+			n++
+		}
+	}
+	return n
+}
+
+// Pick selects a backend under the configured policy, skipping members whose
+// index bit is set in tried (the retry path's exclusion mask) and members
+// that are unhealthy or circuit-rejected. A half-open circuit admits the
+// pick as a trial request. Returns nil when nothing is available.
+func (p *Pool) Pick(tried uint64) *Backend {
+	switch p.policy {
+	case PolicyLeastConn:
+		return p.pickLeastConn(tried)
+	case PolicyWeighted:
+		return p.pickWeighted(tried)
+	default:
+		return p.pickRoundRobin(tried)
+	}
+}
+
+// admit finalizes a candidate: the circuit must allow the request — open
+// circuits reject (counted), half-open circuits must grant a trial slot.
+func (p *Pool) admit(b *Backend) bool {
+	if b.circuit == nil {
+		return true
+	}
+	if b.circuit.Allow() {
+		return true
+	}
+	if p.tel != nil {
+		p.tel.CircuitRejections.Inc()
+	}
+	return false
+}
+
+// eligible is the pre-admission filter shared by the pick paths: not yet
+// tried this request, and healthy. Circuit state is judged by admit so
+// rejections are counted and half-open trials consume a slot.
+func (b *Backend) eligible(tried uint64) bool {
+	return tried&(1<<uint(b.idx)) == 0 && b.healthy.Load()
+}
+
+func (p *Pool) pickRoundRobin(tried uint64) *Backend {
+	n := len(p.backends)
+	start := int(p.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		b := p.backends[(start+i)%n]
+		if !b.eligible(tried) {
+			continue
+		}
+		if p.admit(b) {
+			return b
+		}
+	}
+	return nil
+}
+
+// pickWeighted runs smooth weighted round-robin (the nginx algorithm): each
+// eligible backend gains its weight, the leader is picked and pays the total
+// back, interleaving picks proportionally to weight without bursts.
+func (p *Pool) pickWeighted(tried uint64) *Backend {
+	p.mu.Lock()
+	var (
+		best  *Backend
+		total int
+	)
+	for _, b := range p.backends {
+		if !b.eligible(tried) {
+			continue
+		}
+		b.smoothCurrent += b.weight
+		total += b.weight
+		if best == nil || b.smoothCurrent > best.smoothCurrent {
+			best = b
+		}
+	}
+	if best != nil {
+		best.smoothCurrent -= total
+	}
+	p.mu.Unlock()
+	if best == nil {
+		return nil
+	}
+	if p.admit(best) {
+		return best
+	}
+	// The leader's circuit declined (open, or half-open with no free trial
+	// slot): fall back to any other admissible backend this round.
+	return p.pickRoundRobin(tried | 1<<uint(best.idx))
+}
+
+// pickLeastConn picks the backend with the fewest in-flight requests per
+// unit weight (ties broken by index for determinism).
+func (p *Pool) pickLeastConn(tried uint64) *Backend {
+	var (
+		best      *Backend
+		bestScore float64
+	)
+	for _, b := range p.backends {
+		if !b.eligible(tried) {
+			continue
+		}
+		score := float64(b.active.Load()) / float64(b.weight)
+		if best == nil || score < bestScore {
+			best, bestScore = b, score
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if p.admit(best) {
+		return best
+	}
+	return p.pickLeastConn(tried | 1<<uint(best.idx))
+}
+
+// Observe records one proxied request's outcome against b: circuit
+// accounting, passive health checking, and per-backend counters. Callers
+// must have obtained b from Pick (so half-open trial slots balance).
+func (p *Pool) Observe(b *Backend, ok bool) {
+	if ok {
+		b.requests.Add(1)
+		if p.tel != nil {
+			p.tel.BackendRequests.At(b.idx).Inc()
+		}
+		b.passiveFails.Store(0)
+		if b.circuit != nil {
+			b.circuit.Success()
+		}
+		// A working backend with no active prober recovers on first success
+		// (passive-only deployments would otherwise stay down forever).
+		if !b.healthy.Load() && b.downReason.Load() == "passive" && p.passiveThreshold > 0 {
+			p.setHealthy(b, true, "passive")
+		}
+		return
+	}
+	b.errors.Add(1)
+	if p.tel != nil {
+		p.tel.BackendErrors.At(b.idx).Inc()
+	}
+	if b.circuit != nil {
+		b.circuit.Failure()
+	}
+	if p.passiveThreshold > 0 {
+		if fails := b.passiveFails.Add(1); int(fails) >= p.passiveThreshold && b.healthy.Load() {
+			p.setHealthy(b, false, "passive")
+		}
+	}
+}
+
+// setHealthy flips b's health state and notifies the wiring. reason is
+// "active" (probe verdict) or "passive" (request-path verdict).
+func (p *Pool) setHealthy(b *Backend, healthy bool, reason string) {
+	if b.healthy.Swap(healthy) == healthy {
+		return
+	}
+	if healthy {
+		b.downReason.Store("")
+		b.passiveFails.Store(0)
+	} else {
+		b.downReason.Store(reason)
+	}
+	b.lastChangeNS.Store(p.now())
+	if b.healthyGauge != nil {
+		if healthy {
+			b.healthyGauge(1)
+		} else {
+			b.healthyGauge(0)
+		}
+	}
+	if p.onTransition != nil {
+		p.onTransition(b, healthy, reason)
+	}
+}

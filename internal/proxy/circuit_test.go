@@ -1,0 +1,140 @@
+package proxy
+
+import "testing"
+
+// fakeClock drives a Circuit deterministically.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64       { return c.ns }
+func (c *fakeClock) advance(ns int64) { c.ns += ns }
+
+func newTestCircuit(clk *fakeClock) *Circuit {
+	return NewCircuit(CircuitBreakerConfig{
+		Enabled:          true,
+		FailureThreshold: 3,
+		SuccessThreshold: 2,
+		Timeout:          1000, // ns, on the fake clock
+	}, clk.now)
+}
+
+func TestCircuitOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCircuit(clk)
+	for i := 0; i < 2; i++ {
+		if !c.Allow() {
+			t.Fatalf("closed circuit refused request %d", i)
+		}
+		c.Failure()
+	}
+	if c.State() != CircuitClosed {
+		t.Fatalf("state = %v before threshold", c.State())
+	}
+	c.Allow()
+	c.Failure() // third consecutive failure
+	if c.State() != CircuitOpen {
+		t.Fatalf("state = %v after threshold failures", c.State())
+	}
+	if c.Allow() {
+		t.Error("open circuit admitted a request before timeout")
+	}
+}
+
+// A success while closed resets the consecutive-failure streak.
+func TestCircuitSuccessResetsStreak(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCircuit(clk)
+	c.Allow()
+	c.Failure()
+	c.Allow()
+	c.Failure()
+	c.Allow()
+	c.Success()
+	c.Allow()
+	c.Failure()
+	c.Allow()
+	c.Failure()
+	if c.State() != CircuitClosed {
+		t.Fatalf("state = %v; streak should have reset", c.State())
+	}
+}
+
+func TestCircuitHalfOpenProbing(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCircuit(clk)
+	for i := 0; i < 3; i++ {
+		c.Allow()
+		c.Failure()
+	}
+	clk.advance(1000) // past Timeout
+	if c.State() != CircuitHalfOpen {
+		t.Fatalf("state = %v after timeout, want half-open", c.State())
+	}
+	// Trials are bounded by SuccessThreshold (2): third concurrent ask refused.
+	if !c.Allow() || !c.Allow() {
+		t.Fatal("half-open circuit refused its trial requests")
+	}
+	if c.Allow() {
+		t.Error("half-open circuit exceeded its trial bound")
+	}
+	c.Success()
+	c.Success()
+	if c.State() != CircuitClosed {
+		t.Fatalf("state = %v after %d trial successes", c.State(), 2)
+	}
+
+	snap := c.Snapshot()
+	if snap.Opens != 1 || snap.HalfOpens != 1 || snap.Closes != 1 {
+		t.Errorf("transition counts = %+v", snap)
+	}
+}
+
+func TestCircuitHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCircuit(clk)
+	for i := 0; i < 3; i++ {
+		c.Allow()
+		c.Failure()
+	}
+	clk.advance(1000)
+	if !c.Allow() {
+		t.Fatal("no trial admitted")
+	}
+	c.Failure()
+	if c.State() != CircuitOpen {
+		t.Fatalf("state = %v after trial failure, want open", c.State())
+	}
+	// The reopen restarts the timeout clock.
+	clk.advance(500)
+	if c.Allow() {
+		t.Error("reopened circuit admitted before a fresh timeout")
+	}
+	clk.advance(500)
+	if !c.Allow() {
+		t.Error("reopened circuit refused after a fresh timeout")
+	}
+}
+
+func TestCircuitTransitionCallback(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCircuit(clk)
+	var seen []CircuitState
+	c.onTransition = func(from, to CircuitState) { seen = append(seen, to) }
+	for i := 0; i < 3; i++ {
+		c.Allow()
+		c.Failure()
+	}
+	clk.advance(1000)
+	c.Allow()
+	c.Success()
+	c.Allow()
+	c.Success()
+	want := []CircuitState{CircuitOpen, CircuitHalfOpen, CircuitClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}

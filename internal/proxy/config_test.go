@@ -1,0 +1,197 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const fullYAML = `# exemplar config (docs/PROXY.md)
+server:
+  listen: "127.0.0.1:8080"
+  admin_listen: "127.0.0.1:9900"
+  workers: 8
+  drain_timeout: 15s
+  dial_timeout: 1s
+  response_timeout: 3s
+  client_idle_timeout: 7s
+
+backends:
+  - address: 127.0.0.1:9001
+    weight: 3
+  - address: 127.0.0.1:9002   # trailing comment
+  - address: "127.0.0.1:9003"
+    weight: 2
+
+load_balancing:
+  algorithm: weighted
+
+health_check:
+  enabled: true
+  path: /health
+  interval: 250ms
+  timeout: 100ms
+  healthy_threshold: 2
+  unhealthy_threshold: 3
+  passive_threshold: 4
+
+circuit_breaker:
+  enabled: true
+  failure_threshold: 5
+  success_threshold: 2
+  timeout: 10s
+
+buffer:
+  max_request_body: 1048576
+  retries: 3
+`
+
+func TestLoadYAMLFull(t *testing.T) {
+	c, err := loadYAML([]byte(fullYAML), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Listen != "127.0.0.1:8080" || c.AdminListen != "127.0.0.1:9900" {
+		t.Errorf("server addresses = %q / %q", c.Listen, c.AdminListen)
+	}
+	if c.Workers != 8 || c.DrainTimeout != 15*time.Second || c.DialTimeout != time.Second ||
+		c.ResponseTimeout != 3*time.Second || c.ClientIdleTimeout != 7*time.Second {
+		t.Errorf("server tuning = %+v", c)
+	}
+	want := []BackendConfig{
+		{Address: "127.0.0.1:9001", Weight: 3},
+		{Address: "127.0.0.1:9002", Weight: 1},
+		{Address: "127.0.0.1:9003", Weight: 2},
+	}
+	if len(c.Backends) != len(want) {
+		t.Fatalf("backends = %+v, want %+v", c.Backends, want)
+	}
+	for i, b := range want {
+		if c.Backends[i] != b {
+			t.Errorf("backend %d = %+v, want %+v", i, c.Backends[i], b)
+		}
+	}
+	if c.Policy != PolicyWeighted {
+		t.Errorf("policy = %q", c.Policy)
+	}
+	h := c.HealthCheck
+	if !h.Enabled || h.Path != "/health" || h.Interval != 250*time.Millisecond ||
+		h.Timeout != 100*time.Millisecond || h.HealthyThreshold != 2 ||
+		h.UnhealthyThreshold != 3 || h.PassiveThreshold != 4 {
+		t.Errorf("health_check = %+v", h)
+	}
+	cb := c.CircuitBreaker
+	if !cb.Enabled || cb.FailureThreshold != 5 || cb.SuccessThreshold != 2 || cb.Timeout != 10*time.Second {
+		t.Errorf("circuit_breaker = %+v", cb)
+	}
+	if c.Buffer.MaxRequestBody != 1<<20 || c.Buffer.Retries != 3 {
+		t.Errorf("buffer = %+v", c.Buffer)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("full config should validate: %v", err)
+	}
+}
+
+// A partial file overlays the defaults instead of replacing them.
+func TestLoadYAMLOverlay(t *testing.T) {
+	c, err := loadYAML([]byte("server:\n  workers: 2\n"), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if c.Workers != 2 {
+		t.Errorf("workers = %d, want 2", c.Workers)
+	}
+	if c.Listen != def.Listen || c.HealthCheck != def.HealthCheck || c.CircuitBreaker != def.CircuitBreaker {
+		t.Errorf("overlay clobbered defaults: %+v", c)
+	}
+}
+
+func TestLoadYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, yaml, want string
+	}{
+		{"unknown section", "nonsense:\n  a: b\n", `unknown top-level section "nonsense"`},
+		{"unknown key", "server:\n  port: 80\n", `unknown key "port"`},
+		{"bad integer", "server:\n  workers: many\n", "bad integer"},
+		{"bad duration", "health_check:\n  interval: fast\n", "bad duration"},
+		{"bad boolean", "health_check:\n  enabled: maybe\n", "bad boolean"},
+		{"backends not list", "backends: 127.0.0.1:9001\n", "want a list"},
+		{"tab indent", "server:\n\tworkers: 2\n", "tab"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loadYAML([]byte(tc.yaml), DefaultConfig())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Every rejection must be a one-line reason (the CLI prints it and exits 2).
+func TestValidateRejects(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		c.Backends = []BackendConfig{{Address: "127.0.0.1:9001", Weight: 1}}
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"zero workers", mod(func(c *Config) { c.Workers = 0 }), "workers"},
+		{"too many workers", mod(func(c *Config) { c.Workers = 65 }), "workers"},
+		{"bad policy", mod(func(c *Config) { c.Policy = "fastest" }), "policy"},
+		{"no backends", mod(func(c *Config) { c.Backends = nil }), "at least one backend"},
+		{"malformed address", mod(func(c *Config) { c.Backends[0].Address = "localhost" }), "malformed address"},
+		{"bad port", mod(func(c *Config) { c.Backends[0].Address = "h:99999" }), "bad port"},
+		{"duplicate", mod(func(c *Config) {
+			c.Backends = append(c.Backends, BackendConfig{Address: "127.0.0.1:9001"})
+		}), "duplicate"},
+		{"negative weight", mod(func(c *Config) { c.Backends[0].Weight = -1 }), "weight"},
+		{"bad probe path", mod(func(c *Config) { c.HealthCheck.Path = "health" }), "must start with /"},
+		{"zero interval", mod(func(c *Config) { c.HealthCheck.Interval = 0 }), "interval"},
+		{"zero thresholds", mod(func(c *Config) { c.HealthCheck.HealthyThreshold = 0 }), "threshold"},
+		{"circuit thresholds", mod(func(c *Config) { c.CircuitBreaker.FailureThreshold = 0 }), "threshold"},
+		{"circuit timeout", mod(func(c *Config) { c.CircuitBreaker.Timeout = 0 }), "timeout"},
+		{"negative body cap", mod(func(c *Config) { c.Buffer.MaxRequestBody = -1 }), "max_request_body"},
+		{"retries", mod(func(c *Config) { c.Buffer.Retries = 17 }), "retries"},
+		{"zero dial timeout", mod(func(c *Config) { c.DialTimeout = 0 }), "timeouts"},
+		{"negative drain", mod(func(c *Config) { c.DrainTimeout = -time.Second }), "drain"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+			if err != nil && strings.Contains(err.Error(), "\n") {
+				t.Errorf("validation error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := ParseBackends("127.0.0.1:9001,127.0.0.1:9002*3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BackendConfig{
+		{Address: "127.0.0.1:9001", Weight: 1},
+		{Address: "127.0.0.1:9002", Weight: 3},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backend %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "a:1,,b:2", "a:1*zero", "a:1*0"} {
+		if _, err := ParseBackends(bad); err == nil {
+			t.Errorf("ParseBackends(%q) accepted", bad)
+		}
+	}
+}

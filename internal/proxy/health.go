@@ -1,0 +1,135 @@
+package proxy
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hermes/internal/httpx"
+)
+
+// checker actively probes every backend each interval: one HTTP GET of the
+// configured path, bounded by the probe timeout. Streak counting implements
+// the healthy/unhealthy thresholds; verdict flips go through Pool.setHealthy
+// so passive checks, telemetry, and tracing all share one transition path.
+type checker struct {
+	cfg  HealthCheckConfig
+	pool *Pool
+	tel  *Instruments
+	tr   traceHook
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// traceHook decouples the checker from the tracer (nil-safe in tests).
+type traceHook interface {
+	probe(backend int, startNS, endNS int64, ok bool)
+}
+
+func newChecker(cfg HealthCheckConfig, pool *Pool, tel *Instruments, tr traceHook) *checker {
+	return &checker{
+		cfg: cfg, pool: pool, tel: tel, tr: tr,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func (c *checker) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	// Probe immediately on start: a dead backend at boot should be evicted
+	// within the first interval, not after threshold+1 of them.
+	c.sweep()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.sweep()
+		}
+	}
+}
+
+// sweep probes every backend concurrently and applies the streak thresholds.
+func (c *checker) sweep() {
+	var wg sync.WaitGroup
+	for _, b := range c.pool.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			start := time.Now()
+			ok := c.probeOnce(b.addr)
+			end := time.Now()
+
+			c.tel.HealthProbes.Inc()
+			if !ok {
+				c.tel.HealthProbeFailures.Inc()
+			}
+			b.lastProbeNS.Store(end.UnixNano())
+			b.lastProbeOK.Store(ok)
+			if c.tr != nil {
+				c.tr.probe(b.idx, start.UnixNano(), end.UnixNano(), ok)
+			}
+
+			// Streaks are only touched here (single checker goroutine per
+			// backend per sweep; sweeps don't overlap per backend because
+			// sweep joins before the next tick is handled).
+			if ok {
+				b.probeOKs++
+				b.probeFails = 0
+				if !b.healthy.Load() && b.probeOKs >= c.cfg.HealthyThreshold {
+					c.pool.setHealthy(b, true, "active")
+				}
+			} else {
+				b.probeFails++
+				b.probeOKs = 0
+				if b.healthy.Load() && b.probeFails >= c.cfg.UnhealthyThreshold {
+					c.pool.setHealthy(b, false, "active")
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probeOnce performs one health probe: dial, GET path, expect a parseable
+// response with a non-5xx status inside the timeout.
+func (c *checker) probeOnce(addr string) bool {
+	deadline := time.Now().Add(c.cfg.Timeout)
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.Timeout)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+	req := httpx.Request{
+		Method: "GET",
+		Target: c.cfg.Path,
+		Headers: []httpx.Header{
+			{Name: "Host", Value: addr},
+			{Name: "User-Agent", Value: "hermes-lb-healthcheck"},
+			{Name: "Connection", Value: "close"},
+		},
+	}
+	if _, err := conn.Write(req.Append(nil)); err != nil {
+		return false
+	}
+	data, err := io.ReadAll(conn)
+	if err != nil && len(data) == 0 {
+		return false
+	}
+	resp, _, perr := httpx.ParseResponse(data)
+	if perr != nil {
+		return false
+	}
+	return resp.Status < 500
+}
+
+// Stop halts probing and waits for the in-flight sweep to finish.
+func (c *checker) Stop() {
+	close(c.stop)
+	<-c.done
+}

@@ -1,0 +1,162 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPoolConfig(policy string, weights ...int) Config {
+	c := DefaultConfig()
+	c.Policy = policy
+	c.HealthCheck.Enabled = false
+	c.Backends = nil
+	for i, w := range weights {
+		c.Backends = append(c.Backends, BackendConfig{
+			Address: backendAddr(i), Weight: w,
+		})
+	}
+	return c
+}
+
+func backendAddr(i int) string {
+	return fmt.Sprintf("127.0.0.1:%d", 9001+i) // unique, never dialed
+}
+
+func countPicks(p *Pool, n int) map[int]int {
+	got := make(map[int]int)
+	for i := 0; i < n; i++ {
+		b := p.Pick(0)
+		if b == nil {
+			break
+		}
+		got[b.idx]++
+	}
+	return got
+}
+
+func TestPoolRoundRobinCycles(t *testing.T) {
+	p := newPool(testPoolConfig(PolicyRoundRobin, 1, 1, 1), func() int64 { return 0 })
+	got := countPicks(p, 9)
+	for i := 0; i < 3; i++ {
+		if got[i] != 3 {
+			t.Errorf("backend %d picked %d times, want 3 (%v)", i, got[i], got)
+		}
+	}
+}
+
+// Smooth weighted round-robin distributes picks proportionally to weight.
+func TestPoolWeightedDistribution(t *testing.T) {
+	p := newPool(testPoolConfig(PolicyWeighted, 5, 2, 1), func() int64 { return 0 })
+	got := countPicks(p, 80)
+	if got[0] != 50 || got[1] != 20 || got[2] != 10 {
+		t.Errorf("weighted picks = %v, want 50/20/10", got)
+	}
+}
+
+func TestPoolLeastConnPrefersIdle(t *testing.T) {
+	p := newPool(testPoolConfig(PolicyLeastConn, 1, 1), func() int64 { return 0 })
+	p.backends[0].active.Store(5)
+	for i := 0; i < 4; i++ {
+		if b := p.Pick(0); b.idx != 1 {
+			t.Fatalf("pick %d chose loaded backend %d", i, b.idx)
+		}
+	}
+	// Weight scales the score: 10 in-flight at weight 10 beats 2 at weight 1.
+	p = newPool(testPoolConfig(PolicyLeastConn, 10, 1), func() int64 { return 0 })
+	p.backends[0].active.Store(10)
+	p.backends[1].active.Store(2)
+	if b := p.Pick(0); b.idx != 0 {
+		t.Errorf("least-conn ignored weight: picked %d", b.idx)
+	}
+}
+
+func TestPoolSkipsTriedAndUnhealthy(t *testing.T) {
+	for _, policy := range []string{PolicyRoundRobin, PolicyWeighted, PolicyLeastConn} {
+		p := newPool(testPoolConfig(policy, 1, 1, 1), func() int64 { return 0 })
+		p.setHealthy(p.backends[1], false, "active")
+		for i := 0; i < 6; i++ {
+			b := p.Pick(1 << 0) // exclude 0 as already-tried
+			if b == nil || b.idx != 2 {
+				t.Fatalf("%s: pick = %v, want backend 2 (0 tried, 1 unhealthy)", policy, b)
+			}
+			p.Observe(b, true)
+		}
+		if b := p.Pick(1<<0 | 1<<2); b != nil {
+			t.Errorf("%s: picked %d with everything excluded", policy, b.idx)
+		}
+	}
+}
+
+// An open circuit rejects picks (counted) and traffic flows to the others; a
+// dead pool returns nil.
+func TestPoolCircuitGatesPick(t *testing.T) {
+	cfg := testPoolConfig(PolicyRoundRobin, 1, 1)
+	cfg.HealthCheck.PassiveThreshold = 0 // isolate the breaker from passive health
+	clk := &fakeClock{}
+	p := newPool(cfg, clk.now)
+	// Trip backend 0's breaker.
+	b0 := p.backends[0]
+	for i := 0; i < cfg.CircuitBreaker.FailureThreshold; i++ {
+		p.Observe(b0, false)
+	}
+	if b0.circuit.State() != CircuitOpen {
+		t.Fatalf("circuit = %v after %d failures", b0.circuit.State(), cfg.CircuitBreaker.FailureThreshold)
+	}
+	for i := 0; i < 4; i++ {
+		if b := p.Pick(0); b == nil || b.idx != 1 {
+			t.Fatalf("pick = %v, want backend 1 while 0's circuit is open", b)
+		}
+	}
+	if p.AvailableCount() != 1 {
+		t.Errorf("AvailableCount = %d, want 1", p.AvailableCount())
+	}
+	// Past the timeout the breaker admits trials again.
+	clk.advance(int64(cfg.CircuitBreaker.Timeout))
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		if b := p.Pick(0); b != nil {
+			seen[b.idx] = true
+			p.Observe(b, true)
+		}
+	}
+	if !seen[0] {
+		t.Error("half-open backend 0 never got a trial pick")
+	}
+	if b0.circuit.State() != CircuitClosed {
+		t.Errorf("circuit = %v after successful trials", b0.circuit.State())
+	}
+}
+
+// Passive checks: consecutive upstream errors mark a backend unhealthy, and
+// (with no active prober) the first success restores it.
+func TestPoolPassiveHealth(t *testing.T) {
+	cfg := testPoolConfig(PolicyRoundRobin, 1, 1)
+	cfg.CircuitBreaker.Enabled = false
+	cfg.HealthCheck.PassiveThreshold = 3
+	p := newPool(cfg, func() int64 { return 42 })
+	var flips []bool
+	p.onTransition = func(b *Backend, healthy bool, reason string) {
+		if reason != "passive" {
+			t.Errorf("transition reason = %q, want passive", reason)
+		}
+		flips = append(flips, healthy)
+	}
+	b0 := p.backends[0]
+	for i := 0; i < 3; i++ {
+		p.Observe(b0, false)
+	}
+	if b0.Healthy() {
+		t.Fatal("backend still healthy after passive threshold")
+	}
+	if r, _ := b0.downReason.Load().(string); r != "passive" {
+		t.Errorf("down reason = %q", r)
+	}
+	// Success observed (e.g. a retry landed here anyway): recovers.
+	p.Observe(b0, true)
+	if !b0.Healthy() {
+		t.Fatal("backend did not recover on success")
+	}
+	if len(flips) != 2 || flips[0] || !flips[1] {
+		t.Errorf("transitions = %v, want [false true]", flips)
+	}
+}

@@ -123,6 +123,12 @@ func spanArgs(s Span) map[string]any {
 		if s.Arg2 != 0 {
 			a["param"] = s.Arg2
 		}
+	case KindProbe:
+		a["backend"] = s.Arg
+		a["ok"] = s.Arg2 != 0
+	case KindBackendState:
+		a["backend"] = s.Arg
+		a["state"] = s.Arg2
 	}
 	return a
 }
@@ -194,7 +200,7 @@ func WriteChrome(w io.Writer, spans []Span, meta Meta) error {
 			if err := emit(end); err != nil {
 				return err
 			}
-		case KindServe, KindWakeup:
+		case KindServe, KindWakeup, KindProbe:
 			d := usec(s.EndNS - s.StartNS)
 			ev.Ph, ev.Dur = "X", &d
 			if err := emit(ev); err != nil {

@@ -170,6 +170,10 @@ func readChromeEvents(events []json.RawMessage) ([]Span, error) {
 		case KindFault:
 			s.Arg = argInt(ev.Args, "code")
 			s.Arg2 = argInt(ev.Args, "param")
+		case KindProbe:
+			s.Arg, s.Arg2 = argInt(ev.Args, "backend"), argBool(ev.Args, "ok")
+		case KindBackendState:
+			s.Arg, s.Arg2 = argInt(ev.Args, "backend"), argInt(ev.Args, "state")
 		}
 		switch ev.Ph {
 		case "b":

@@ -64,12 +64,20 @@ const (
 	// recovery event (Arg=faults.Kind-style code, Arg2=kind-specific
 	// parameter such as the hang duration).
 	KindFault
+	// KindProbe: span, kernel track — one active backend health probe
+	// (Arg=backend index, Arg2=1 probe passed / 0 failed).
+	KindProbe
+	// KindBackendState: instant, kernel track — a backend availability
+	// transition from the health checker or circuit breaker (Arg=backend
+	// index, Arg2=new state code: proxy.BackendState / circuit state).
+	KindBackendState
 )
 
 // kindNames are the stable export names (docs/TRACING.md).
 var kindNames = [...]string{
 	"syn", "drop", "accept_queue", "accept", "notify_wait",
 	"serve", "close", "epoll_wait", "schedule", "selmap_sync", "fault",
+	"probe", "backend_state",
 }
 
 func (k Kind) String() string {

@@ -409,6 +409,48 @@ func (f *FaultTrace) Event(worker int32, nowNS int64, code, param int64) {
 	f.t.unlock()
 }
 
+// ProxyTrace records backend-pool events from the reverse-proxy edge
+// (internal/proxy): active health probes and backend availability
+// transitions. Both sit on the kernel track — backends are peers of the
+// steering decision, not of any one worker.
+type ProxyTrace struct{ t *Tracer }
+
+// ProxyTrace returns the proxy's handle. Safe on nil (returns nil).
+func (t *Tracer) ProxyTrace() *ProxyTrace {
+	if t == nil {
+		return nil
+	}
+	return &ProxyTrace{t: t}
+}
+
+// Probe records one active health probe against backend b (ok = the probe
+// passed within its timeout).
+func (p *ProxyTrace) Probe(backend int, startNS, endNS int64, ok bool) {
+	if p == nil {
+		return
+	}
+	var arg2 int64
+	if ok {
+		arg2 = 1
+	}
+	p.t.lock()
+	p.t.commit(Span{Worker: KernelTrack, Kind: KindProbe,
+		StartNS: startNS, EndNS: endNS, Arg: int64(backend), Arg2: arg2})
+	p.t.unlock()
+}
+
+// BackendState records an availability transition for backend b (state is a
+// proxy-layer code: health up/down, circuit open/half-open/closed).
+func (p *ProxyTrace) BackendState(backend int, nowNS int64, state int64) {
+	if p == nil {
+		return
+	}
+	p.t.lock()
+	p.t.commit(Span{Worker: KernelTrack, Kind: KindBackendState,
+		StartNS: nowNS, EndNS: nowNS, Arg: int64(backend), Arg2: state})
+	p.t.unlock()
+}
+
 // MapTrace records selection-map syncs from the eBPF layer. The map has no
 // clock, so the wiring layer supplies one (the sim engine's Now, or
 // wall-clock for real deployments).

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the real proxy: two local backends, a hermes-lb
+# instance with a worker-crash fault injected, live load, a backend kill and
+# restart, and hermesctl assertions that failover and recovery actually show
+# up through the admin API. CI runs this after the unit suites; it needs no
+# tools beyond bash and the go toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LISTEN=127.0.0.1:18080
+ADMIN=127.0.0.1:19900
+B1=127.0.0.1:19001
+B2=127.0.0.1:19002
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
+
+echo "e2e: building hermes-lb and hermesctl"
+go build -o "$WORK/hermes-lb" ./cmd/hermes-lb
+go build -o "$WORK/hermesctl" ./cmd/hermesctl
+
+ctl() { "$WORK/hermesctl" -admin "$ADMIN" "$@"; }
+
+# One HTTP request through the proxy via bash's /dev/tcp (no curl needed).
+# Prints the status line; fails the pipeline if the connection is refused.
+req() {
+  local path=${1:-/} out
+  out=$(exec 3<>"/dev/tcp/${LISTEN%:*}/${LISTEN#*:}" &&
+    printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$path" >&3 &&
+    head -n1 <&3 && exec 3<&- 3>&-)
+  echo "$out"
+}
+
+# load N: issue N requests, count non-200s.
+load() {
+  local n=$1 bad=0 line
+  for ((i = 0; i < n; i++)); do
+    line=$(req "/r$i" || echo "CONNECT-FAIL")
+    case $line in *" 200 "*) ;; *) bad=$((bad + 1)); echo "e2e:   request $i -> $line" ;; esac
+  done
+  echo "$bad"
+}
+
+start_backend() {
+  "$WORK/hermes-lb" -serve-backend "$1" >"$WORK/backend-$2.log" 2>&1 &
+  PIDS+=($!)
+  echo $!
+}
+
+echo "e2e: starting backends on $B1 and $B2"
+start_backend "$B1" b1 >/dev/null
+B2_PID=$(start_backend "$B2" b2)
+
+cat >"$WORK/config.yaml" <<EOF
+server:
+  listen: $LISTEN
+  admin_listen: $ADMIN
+  workers: 4
+  drain_timeout: 5s
+backends:
+  - address: $B1
+  - address: $B2
+load_balancing:
+  algorithm: round-robin
+health_check:
+  enabled: true
+  path: /health
+  interval: 300ms
+  timeout: 200ms
+  healthy_threshold: 2
+  unhealthy_threshold: 2
+circuit_breaker:
+  enabled: true
+  failure_threshold: 3
+  success_threshold: 1
+  timeout: 1s
+buffer:
+  retries: 2
+EOF
+
+echo "e2e: starting hermes-lb with a worker-crash fault (crash@1s:w1:restart=2s)"
+"$WORK/hermes-lb" -config "$WORK/config.yaml" -faults "crash@1s:w1:restart=2s" \
+  >"$WORK/proxy.log" 2>&1 &
+PROXY_PID=$!
+PIDS+=($PROXY_PID)
+
+for i in $(seq 1 50); do
+  ctl status >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { cat "$WORK/proxy.log" >&2; fail "admin API never came up"; }
+  sleep 0.1
+done
+echo "e2e: proxy up; admin answers"
+
+# Phase 1: both backends healthy — load must be clean, status ok, and the
+# injected worker crash+restart must not lose requests.
+bad=$(load 40 | tail -n1)
+[ "$bad" = 0 ] || fail "$bad/40 requests failed with both backends up"
+ctl status | grep -q 'status: *ok' || { ctl status; fail "status not ok with both backends up"; }
+ctl backends | grep -c yes | grep -qx 2 || { ctl backends; fail "expected 2 healthy backends"; }
+echo "e2e: phase 1 ok (40/40 served through worker crash window)"
+
+# Phase 2: kill backend 2. Retries must cover the corpse (zero lost), the
+# prober must evict it within ~3 intervals, and the breaker should trip.
+kill "$B2_PID"
+wait "$B2_PID" 2>/dev/null || true
+bad=$(load 40 | tail -n1)
+[ "$bad" = 0 ] || fail "$bad/40 requests failed during backend kill (retries should cover)"
+
+for i in $(seq 1 50); do
+  ctl backends | grep "$B2" | grep -q NO && break
+  [ "$i" = 50 ] && { ctl backends; fail "dead backend never marked unhealthy"; }
+  sleep 0.1
+done
+ctl status | grep -q 'status: *degraded' || { ctl status; fail "status not degraded with a dead backend"; }
+ctl circuits | grep -q "$B2" || { ctl circuits; fail "circuits view missing $B2" ; }
+echo "e2e: phase 2 ok (backend death covered by retries, evicted by prober)"
+
+# Phase 3: resurrect backend 2 on the same address; the prober must readmit
+# it and status must return to ok.
+start_backend "$B2" b2-again >/dev/null
+for i in $(seq 1 100); do
+  ctl status | grep -q 'status: *ok' && break
+  [ "$i" = 100 ] && { ctl backends; fail "backend never recovered"; }
+  sleep 0.1
+done
+bad=$(load 20 | tail -n1)
+[ "$bad" = 0 ] || fail "$bad/20 requests failed after recovery"
+echo "e2e: phase 3 ok (backend readmitted, pool back to full strength)"
+
+# Final: stats must reconcile, and shutdown must drain cleanly (exit 0).
+ctl stats | grep -q 'served:' || fail "stats rendering broken"
+served=$(ctl -json stats | sed -n 's/.*"served": *\([0-9]*\).*/\1/p')
+[ "${served:-0}" -ge 100 ] || fail "served=$served, want >= 100"
+ctl stats | grep -q 'selection bitmap:' || fail "scheduler state missing from stats"
+
+kill -TERM "$PROXY_PID"
+if ! wait "$PROXY_PID"; then
+  cat "$WORK/proxy.log" >&2
+  fail "proxy exited non-zero on graceful shutdown"
+fi
+echo "e2e: PASS (served=$served, graceful drain clean)"
