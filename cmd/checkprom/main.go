@@ -1,0 +1,58 @@
+// Command checkprom validates OpenMetrics text expositions — the scrape
+// conformance gate for GET /metrics and hermes-bench -prom dumps:
+//
+//	checkprom metrics.prom more.prom
+//	hermesctl -admin 127.0.0.1:9900 metrics | checkprom
+//
+// Each input must parse under the strict internal/openmetrics checker:
+// HELP/TYPE pairing, name/label syntax and escaping, suffix discipline,
+// histogram bucket monotonicity with le="+Inf" equal to _count, and a
+// terminating # EOF. Exit 0 with a per-input summary, 1 on any violation.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hermes/internal/openmetrics"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	if len(args) == 0 {
+		args = []string{"-"}
+	}
+	code := 0
+	for _, path := range args {
+		var (
+			data []byte
+			err  error
+			name = path
+		)
+		if path == "-" {
+			name = "<stdin>"
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkprom: %s: %v\n", name, err)
+			code = 1
+			continue
+		}
+		fams, err := openmetrics.Validate(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkprom: %s: %v\n", name, err)
+			code = 1
+			continue
+		}
+		samples := 0
+		for i := range fams {
+			samples += len(fams[i].Samples)
+		}
+		fmt.Printf("checkprom: %s: ok (%d families, %d samples)\n", name, len(fams), samples)
+	}
+	return code
+}

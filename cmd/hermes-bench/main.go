@@ -29,8 +29,22 @@ import (
 	"time"
 
 	"hermes/internal/bench"
+	"hermes/internal/telemetry"
 	"hermes/internal/tracing"
 )
+
+// promFileName maps an experiment or cell name onto a safe filename chunk.
+func promFileName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
 
 func main() {
 	var (
@@ -42,6 +56,7 @@ func main() {
 		tenants  = flag.Int("tenants", 8, "tenant ports per LB")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "cell-level fan-out (independent sims per experiment); 1 = sequential")
 		metrics  = flag.String("metrics", "", "write per-cell telemetry dumps (JSON) to this path")
+		prom     = flag.String("prom", "", "write per-cell OpenMetrics expositions (<exp>__<cell>.prom) into this directory")
 
 		spans      = flag.String("spans", "", "record one cell's span dump (docs/TRACING.md) to this path (.jsonl = compact; else Chrome trace JSON)")
 		spanCell   = flag.String("span-cell", "", "cell to record (default: the experiment's first cell; see -exp list)")
@@ -139,7 +154,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", name)
 			os.Exit(2)
 		}
-		if *metrics != "" {
+		if *metrics != "" || *prom != "" {
 			opts.Metrics = bench.NewMetricsCollector()
 			dumps[name] = opts.Metrics
 		}
@@ -172,6 +187,35 @@ func main() {
 		if err := os.WriteFile(*metrics, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	if *prom != "" {
+		if err := os.MkdirAll(*prom, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "create prom dir: %v\n", err)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(dumps))
+		for name := range dumps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			mc := dumps[name]
+			for _, cell := range mc.CellNames() {
+				path := *prom + "/" + promFileName(name) + "__" + promFileName(cell) + ".prom"
+				f, err := os.Create(path)
+				if err == nil {
+					err = telemetry.WriteOpenMetrics(f, mc.Snapshot(cell))
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "write prom %s: %v\n", path, err)
+					os.Exit(1)
+				}
+			}
 		}
 	}
 

@@ -23,7 +23,10 @@ import (
 	"hermes/internal/faults"
 	"hermes/internal/httpx"
 	"hermes/internal/proxy"
+	"hermes/internal/telemetry"
 	"hermes/internal/tracing"
+
+	_ "net/http/pprof" // registered on the default mux, served only via -debug-addr
 )
 
 func main() { os.Exit(run()) }
@@ -35,9 +38,11 @@ func run() int {
 		backends     = flag.String("backends", "", "comma-separated backend addresses, each optionally addr*weight")
 		workers      = flag.Int("workers", 0, "worker goroutines (1-64)")
 		policy       = flag.String("policy", "", "backend policy: round-robin | weighted | least-connections")
-		admin        = flag.String("admin", "", "admin address serving the REST API (/healthz /backends /stats /circuits /policy /status)")
+		admin        = flag.String("admin", "", "admin address serving the REST API (/healthz /backends /stats /circuits /metrics /slo /policy /status)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (off unless set; bind to localhost)")
+		sloSpec      = flag.String("slo", "", "SLO objectives (\"latency<=250ms@99%;errors@99.9%;page=10x/10s+1m;warn=2x/1m+5m\"); \"off\" disables the monitor")
 		drainTimeout = flag.Duration("drain-timeout", 0, "graceful-shutdown drain deadline")
-		statsEvery   = flag.Duration("stats-every", 0, "periodically print the telemetry catalog (0 = off)")
+		statsEvery   = flag.Duration("stats-every", 0, "periodically print windowed telemetry deltas and rates (0 = off)")
 		trace        = flag.String("trace", "", "record a span dump (docs/TRACING.md), written on shutdown (.jsonl = compact; else Chrome trace JSON)")
 		demo         = flag.Bool("demo", false, "run a self-contained demo (own backends + client load)")
 		demoReqs     = flag.Int("demo-requests", 2000, "requests to issue in demo mode")
@@ -96,11 +101,30 @@ func run() int {
 			cfg.AdminListen = *admin
 		case "drain-timeout":
 			cfg.DrainTimeout = *drainTimeout
+		case "slo":
+			if *sloSpec == "off" {
+				cfg.SLO.Enabled = false
+			} else {
+				cfg.SLO.Enabled = true
+				cfg.SLO.Objectives = *sloSpec
+			}
 		}
 	})
 	if flagErr != nil {
 		fmt.Fprintln(os.Stderr, "hermes-lb:", flagErr)
 		return 2
+	}
+
+	if *debugAddr != "" {
+		// net/http/pprof registers on the default mux; serve it only when
+		// explicitly asked, on its own listener, never on the admin or
+		// client-facing address.
+		go func() {
+			fmt.Printf("hermes-lb: pprof on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hermes-lb: debug:", err)
+			}
+		}()
 	}
 
 	if *demo {
@@ -160,12 +184,21 @@ func run() int {
 	return code
 }
 
-// reportStats periodically prints the telemetry catalog (the real-socket
-// twin of hermes-bench -metrics). Shutdown paths call printStats once more
-// so the final partial interval is never lost.
+// reportStats periodically prints windowed telemetry: each interval shows
+// the deltas and rates since the previous print, not cumulative totals — a
+// quiet proxy prints zeros, a busy one prints its current req/s and windowed
+// quantiles. Shutdown paths call printStats once more for the cumulative
+// final snapshot, so the run's totals are never lost.
 func reportStats(p *proxy.Proxy, every time.Duration) {
+	prev := p.Registry().Snapshot()
+	prevNS := time.Now().UnixNano()
 	for range time.Tick(every) {
-		printStats(p)
+		cur := p.Registry().Snapshot()
+		nowNS := time.Now().UnixNano()
+		d := telemetry.NewWindowDelta(prevNS, nowNS, prev, cur)
+		fmt.Printf("--- telemetry %s (last %s) ---\n%s",
+			time.Now().Format(time.RFC3339), d.Elapsed().Round(time.Millisecond), d.Text())
+		prev, prevNS = cur, nowNS
 	}
 }
 

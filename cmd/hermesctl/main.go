@@ -1,11 +1,15 @@
 // Command hermesctl inspects a running hermes-lb through its admin REST API.
 //
-//	hermesctl -admin 127.0.0.1:9900 status     # pool availability (exit 1 when unavailable)
+//	hermesctl -admin 127.0.0.1:9900 status     # pool availability + SLO state (exit 1 when unavailable)
 //	hermesctl -admin 127.0.0.1:9900 backends   # per-backend health, counters, circuit state
 //	hermesctl -admin 127.0.0.1:9900 stats      # request/retry/latency + scheduler state
 //	hermesctl -admin 127.0.0.1:9900 circuits   # per-backend breaker snapshots
+//	hermesctl -admin 127.0.0.1:9900 slo        # burn-rate monitor status
+//	hermesctl -admin 127.0.0.1:9900 metrics    # raw OpenMetrics exposition (pipe to checkprom)
+//	hermesctl -admin 127.0.0.1:9900 watch      # periodic re-render with per-interval rates
 //
-// -json prints the raw admin-API response instead of the text rendering.
+// -json prints the raw admin-API response instead of the text rendering; for
+// watch it streams one JSON object per interval.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"hermes/internal/proxy"
+	"hermes/internal/telemetry"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -27,9 +32,11 @@ func run(args []string, out, errW io.Writer) int {
 	fs := flag.NewFlagSet("hermesctl", flag.ContinueOnError)
 	fs.SetOutput(errW)
 	admin := fs.String("admin", "127.0.0.1:9900", "hermes-lb admin API address")
-	asJSON := fs.Bool("json", false, "print the raw admin-API JSON")
+	asJSON := fs.Bool("json", false, "print the raw admin-API JSON (watch: stream one JSON object per interval)")
+	interval := fs.Duration("interval", 2*time.Second, "watch refresh period")
+	count := fs.Int("count", 0, "watch iterations before exiting (0 = until interrupted)")
 	fs.Usage = func() {
-		fmt.Fprintln(errW, "usage: hermesctl [-admin host:port] [-json] status|backends|stats|circuits")
+		fmt.Fprintln(errW, "usage: hermesctl [-admin host:port] [-json] [-interval d] [-count n] status|backends|stats|circuits|slo|metrics|watch")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -41,16 +48,32 @@ func run(args []string, out, errW io.Writer) int {
 	}
 	cmd := fs.Arg(0)
 
+	if cmd == "watch" {
+		return watch(*admin, *interval, *count, *asJSON, out, errW)
+	}
 	path, ok := map[string]string{
 		"status":   "/healthz",
 		"backends": "/backends",
 		"stats":    "/stats",
 		"circuits": "/circuits",
+		"slo":      "/slo",
+		"metrics":  "/metrics",
 	}[cmd]
 	if !ok {
 		fmt.Fprintf(errW, "hermesctl: unknown command %q\n", cmd)
 		fs.Usage()
 		return 2
+	}
+	if cmd == "metrics" {
+		// The exposition is already text; print it verbatim for scrapers and
+		// the checkprom conformance gate.
+		body, _, err := fetch(*admin, path)
+		if err != nil {
+			fmt.Fprintln(errW, "hermesctl:", err)
+			return 1
+		}
+		_, _ = out.Write(body)
+		return 0
 	}
 
 	body, httpStatus, err := fetch(*admin, path)
@@ -74,6 +97,107 @@ func run(args []string, out, errW io.Writer) int {
 func exitFor(cmd string, httpStatus int) int {
 	if cmd == "status" && httpStatus != http.StatusOK {
 		return 1
+	}
+	return 0
+}
+
+// watchRow is one watch interval's derived view: rates over the interval
+// from successive cumulative counters, point-in-time latency quantiles, and
+// the healthz/SLO verdicts. Also the -json stream shape.
+type watchRow struct {
+	UnixNS        int64    `json:"unix_ns"`
+	Status        string   `json:"status"`
+	SLO           string   `json:"slo,omitempty"`
+	ReqPerSec     float64  `json:"req_per_sec"`
+	ErrPerSec     float64  `json:"err_per_sec"`
+	UnavailPerSec float64  `json:"unavailable_per_sec"`
+	RetryPerSec   float64  `json:"retry_per_sec"`
+	P50MS         *float64 `json:"p50_ms,omitempty"`
+	P99MS         *float64 `json:"p99_ms,omitempty"`
+}
+
+// watch polls /stats and /healthz every interval and prints per-interval
+// rate columns — deltas between successive cumulative counters, so the first
+// row appears after one full interval.
+func watch(admin string, interval time.Duration, count int, asJSON bool, out, errW io.Writer) int {
+	fetchStats := func() (proxy.StatsView, proxy.HealthzView, error) {
+		var sv proxy.StatsView
+		var hv proxy.HealthzView
+		body, _, err := fetch(admin, "/stats")
+		if err == nil {
+			err = json.Unmarshal(body, &sv)
+		}
+		if err != nil {
+			return sv, hv, err
+		}
+		body, _, err = fetch(admin, "/healthz")
+		if err == nil {
+			err = json.Unmarshal(body, &hv)
+		}
+		return sv, hv, err
+	}
+	prev, _, err := fetchStats()
+	if err != nil {
+		fmt.Fprintln(errW, "hermesctl:", err)
+		return 1
+	}
+	prevAt := time.Now()
+	if !asJSON {
+		fmt.Fprintf(out, "%-9s %-12s %-6s %9s %8s %8s %8s %8s %8s\n",
+			"TIME", "STATUS", "SLO", "REQ/S", "ERR/S", "503/S", "RETRY/S", "P50MS", "P99MS")
+	}
+	enc := json.NewEncoder(out)
+	rate := func(cur, last uint64, dt float64) float64 {
+		if cur < last || dt <= 0 { // counter reset (proxy restart) or clock skew
+			return 0
+		}
+		return float64(cur-last) / dt
+	}
+	for i := 0; count == 0 || i < count; i++ {
+		time.Sleep(interval)
+		cur, hv, err := fetchStats()
+		if err != nil {
+			fmt.Fprintln(errW, "hermesctl:", err)
+			return 1
+		}
+		now := time.Now()
+		dt := now.Sub(prevAt).Seconds()
+		served := rate(cur.Served, prev.Served, dt)
+		errs := rate(cur.Errors, prev.Errors, dt)
+		unavail := rate(cur.Unavailable, prev.Unavailable, dt)
+		row := watchRow{
+			UnixNS:        now.UnixNano(),
+			Status:        hv.Status,
+			SLO:           hv.SLO,
+			ReqPerSec:     served + errs + unavail,
+			ErrPerSec:     errs,
+			UnavailPerSec: unavail,
+			RetryPerSec:   rate(cur.RetryAttempts, prev.RetryAttempts, dt),
+			P50MS:         cur.LatencyP50MS,
+			P99MS:         cur.LatencyP99MS,
+		}
+		if asJSON {
+			if err := enc.Encode(row); err != nil {
+				fmt.Fprintln(errW, "hermesctl:", err)
+				return 1
+			}
+		} else {
+			p50, p99 := "-", "-"
+			if row.P50MS != nil {
+				p50 = fmt.Sprintf("%.2f", *row.P50MS)
+			}
+			if row.P99MS != nil {
+				p99 = fmt.Sprintf("%.2f", *row.P99MS)
+			}
+			slo := row.SLO
+			if slo == "" {
+				slo = "-"
+			}
+			fmt.Fprintf(out, "%-9s %-12s %-6s %9.1f %8.1f %8.1f %8.1f %8s %8s\n",
+				now.Format("15:04:05"), row.Status, slo,
+				row.ReqPerSec, row.ErrPerSec, row.UnavailPerSec, row.RetryPerSec, p50, p99)
+		}
+		prev, prevAt = cur, now
 	}
 	return 0
 }
@@ -103,6 +227,9 @@ func render(cmd string, body []byte, out io.Writer) error {
 		fmt.Fprintf(out, "backends:  %d/%d available\n", v.Available, v.Backends)
 		fmt.Fprintf(out, "workers:   %d\n", v.Workers)
 		fmt.Fprintf(out, "uptime:    %s\n", time.Duration(v.UptimeSec)*time.Second)
+		if v.SLO != "" {
+			fmt.Fprintf(out, "slo:       %s\n", v.SLO)
+		}
 	case "backends":
 		var bs []proxy.BackendView
 		if err := json.Unmarshal(body, &bs); err != nil {
@@ -147,6 +274,25 @@ func render(cmd string, body []byte, out io.Writer) error {
 			s.ScheduleCalls, s.Syncs, s.Batched, s.AvgPassed, s.EmptySets)
 		fmt.Fprintf(out, "selection bitmap:    %0*b (available mask %0*b)\n",
 			v.Workers, s.SelectionBitmap, v.Workers, s.AvailableMask)
+	case "slo":
+		var v telemetry.SLOStatus
+		if err := json.Unmarshal(body, &v); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "state:         %s\n", v.State)
+		fmt.Fprintf(out, "objectives:    %s; %s\n", v.LatencyObjective, v.ErrorObjective)
+		fmt.Fprintf(out, "latency burn:  page %.2fx/%.2fx (short/long)  warn %.2fx/%.2fx\n",
+			v.Latency.PageShort, v.Latency.PageLong, v.Latency.WarnShort, v.Latency.WarnLong)
+		fmt.Fprintf(out, "errors burn:   page %.2fx/%.2fx (short/long)  warn %.2fx/%.2fx\n",
+			v.Errors.PageShort, v.Errors.PageLong, v.Errors.WarnShort, v.Errors.WarnLong)
+		p50, p99 := "-", "-"
+		if v.WindowP50MS != nil {
+			p50 = fmt.Sprintf("%.2fms", *v.WindowP50MS)
+		}
+		if v.WindowP99MS != nil {
+			p99 = fmt.Sprintf("%.2fms", *v.WindowP99MS)
+		}
+		fmt.Fprintf(out, "window:        p50 %s, p99 %s, %.1f req/s\n", p50, p99, v.WindowReqPerSec)
 	case "circuits":
 		var cs map[string]proxy.CircuitView
 		if err := json.Unmarshal(body, &cs); err != nil {

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -162,5 +165,123 @@ func TestUsageErrors(t *testing.T) {
 	// Unreachable admin is a runtime error, not usage.
 	if _, _, code := runCtl(t, "-admin", "127.0.0.1:1", "stats"); code != 1 {
 		t.Errorf("unreachable admin: exit %d, want 1", code)
+	}
+}
+
+func TestMetricsPassThrough(t *testing.T) {
+	mux := http.NewServeMux()
+	exposition := "# HELP hermes_x x\n# TYPE hermes_x gauge\nhermes_x 1\n# EOF\n"
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_, _ = w.Write([]byte(exposition))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	out, _, code := runCtl(t, "-admin", strings.TrimPrefix(srv.URL, "http://"), "metrics")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out != exposition {
+		t.Errorf("metrics not passed through verbatim:\n%q\nwant\n%q", out, exposition)
+	}
+}
+
+func TestSLOText(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"state":"warn","since_unix_ns":1,
+  "latency_objective":"99% of requests ≤ 250ms","error_objective":"99.9% success",
+  "latency_burn":{"page_short":0.5,"page_long":0.25,"warn_short":2.5,"warn_long":2.1},
+  "errors_burn":{"page_short":0,"page_long":0,"warn_short":0,"warn_long":0},
+  "window_p50_ms":1.25,"window_p99_ms":9.5,"window_req_per_sec":120.5}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	out, _, code := runCtl(t, "-admin", strings.TrimPrefix(srv.URL, "http://"), "slo")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{
+		"state:         warn",
+		"objectives:    99% of requests ≤ 250ms; 99.9% success",
+		"latency burn:  page 0.50x/0.25x (short/long)  warn 2.50x/2.10x",
+		"window:        p50 1.25ms, p99 9.50ms, 120.5 req/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatusShowsSLO(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"ok","backends":2,"available":2,"workers":4,"uptime_sec":5,"slo":"page"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	out, _, _ := runCtl(t, "-admin", strings.TrimPrefix(srv.URL, "http://"), "status")
+	if !strings.Contains(out, "slo:       page") {
+		t.Errorf("status output missing slo line:\n%s", out)
+	}
+}
+
+// TestWatch drives the watch loop against a stub whose counters advance on
+// every /stats poll, checking per-interval rates (not cumulative totals).
+func TestWatch(t *testing.T) {
+	var served atomic.Uint64
+	served.Store(100)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		s := served.Add(50) // +50 per interval
+		fmt.Fprintf(w, `{"served":%d,"errors":0,"unavailable":0,"retry_attempts":0,
+  "latency_p50_ms":1.25,"latency_p99_ms":9.5,"worker_handled":[1],"scheduler":{}}`, s)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"status":"ok","backends":1,"available":1,"workers":1,"slo":"ok"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	out, _, code := runCtl(t, "-admin", addr, "-interval", "10ms", "-count", "2", "watch")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 interval rows
+		t.Fatalf("watch lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "TIME") || !strings.Contains(lines[0], "REQ/S") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, row := range lines[1:] {
+		if !strings.Contains(row, "ok") || !strings.Contains(row, "1.25") || !strings.Contains(row, "9.50") {
+			t.Errorf("row = %q", row)
+		}
+	}
+
+	// -json streams one object per interval with derived rates.
+	out, _, code = runCtl(t, "-admin", addr, "-json", "-interval", "10ms", "-count", "2", "watch")
+	if code != 0 {
+		t.Fatalf("json exit = %d", code)
+	}
+	jlines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(jlines) != 2 {
+		t.Fatalf("json lines = %d:\n%s", len(jlines), out)
+	}
+	for _, l := range jlines {
+		var row struct {
+			Status    string  `json:"status"`
+			SLO       string  `json:"slo"`
+			ReqPerSec float64 `json:"req_per_sec"`
+		}
+		if err := json.Unmarshal([]byte(l), &row); err != nil {
+			t.Fatalf("bad json row %q: %v", l, err)
+		}
+		if row.Status != "ok" || row.SLO != "ok" || row.ReqPerSec <= 0 {
+			t.Errorf("json row = %+v", row)
+		}
 	}
 }

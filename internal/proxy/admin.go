@@ -1,11 +1,13 @@
 package proxy
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"time"
 
 	"hermes/internal/core"
+	"hermes/internal/telemetry"
 )
 
 // HealthzView is the /healthz response body.
@@ -17,6 +19,10 @@ type HealthzView struct {
 	Available int    `json:"available"`
 	Workers   int    `json:"workers"`
 	UptimeSec int64  `json:"uptime_sec"`
+	// SLO is the burn-rate verdict ("ok", "warn", "page"); empty when the
+	// monitor is disabled. Reported alongside pool availability so one
+	// healthz poll covers both liveness and objective health.
+	SLO string `json:"slo,omitempty"`
 }
 
 // CircuitView is one breaker in /circuits and /backends responses.
@@ -93,6 +99,9 @@ func (p *Proxy) healthzView() (HealthzView, int) {
 		Available: avail,
 		Workers:   len(p.workers),
 		UptimeSec: int64(time.Since(time.Unix(0, p.startNS)).Seconds()),
+	}
+	if p.slo != nil {
+		v.SLO = p.slo.State().String()
 	}
 	switch {
 	case p.draining.Load():
@@ -212,15 +221,21 @@ func (p *Proxy) circuitViews() map[string]CircuitView {
 
 // AdminHandler serves the proxy's admin REST API:
 //
-//	GET /healthz   liveness + pool availability (503 when nothing pickable)
+//	GET /healthz   liveness + pool availability + SLO state (503 when nothing pickable)
 //	GET /backends  per-backend health, counters, circuit state
 //	GET /stats     request/retry/latency counters + Hermes scheduler state
 //	GET /circuits  per-backend breaker snapshots
+//	GET /metrics   OpenMetrics exposition of the full telemetry catalog
+//	GET /slo       burn-rate monitor status (404 when disabled)
 //	GET,PUT /policy, GET /status  the Hermes policy API (core.PolicyHandler)
+//
+// JSON responses are uncacheable point-in-time reads: every endpoint sets
+// Cache-Control: no-store.
 func AdminHandler(p *Proxy) http.Handler {
 	mux := http.NewServeMux()
 	serve := func(w http.ResponseWriter, status int, body any) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		w.WriteHeader(status)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -247,6 +262,23 @@ func AdminHandler(p *Proxy) http.Handler {
 	}))
 	mux.Handle("/circuits", get(func(w http.ResponseWriter, r *http.Request) {
 		serve(w, http.StatusOK, p.circuitViews())
+	}))
+	mux.Handle("/metrics", get(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := telemetry.WriteOpenMetrics(&buf, p.reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.Header().Set("Cache-Control", "no-store")
+		_, _ = w.Write(buf.Bytes())
+	}))
+	mux.Handle("/slo", get(func(w http.ResponseWriter, r *http.Request) {
+		if p.slo == nil {
+			http.Error(w, "slo monitoring disabled", http.StatusNotFound)
+			return
+		}
+		serve(w, http.StatusOK, p.slo.Status())
 	}))
 	// The Hermes policy/status API keeps its existing shape and paths.
 	mux.Handle("/policy", core.PolicyHandler(p.ctl))

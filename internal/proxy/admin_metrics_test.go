@@ -1,0 +1,136 @@
+package proxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hermes/internal/openmetrics"
+	"hermes/internal/telemetry"
+)
+
+// TestAdminMetricsPlane covers the live metrics endpoints: /metrics is a
+// conformant OpenMetrics exposition, /slo reports the monitor, every JSON
+// endpoint declares its content type and no-store, and /healthz carries the
+// SLO verdict.
+func TestAdminMetricsPlane(t *testing.T) {
+	b := newStubUpstream(t)
+	cfg := testConfig(b)
+	p := startProxy(t, cfg)
+	for i := 0; i < 5; i++ {
+		if _, err := get(p.Addr(), "/", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(AdminHandler(p))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("/metrics cache-control = %q", cc)
+	}
+	fams, err := openmetrics.Validate(body)
+	if err != nil {
+		t.Fatalf("/metrics failed conformance: %v", err)
+	}
+	byName := map[string]bool{}
+	for i := range fams {
+		byName[fams[i].Name] = true
+	}
+	for _, want := range []string{
+		"hermes_proxy_request_latency_ns",
+		"hermes_proxy_worker_requests_served",
+		"hermes_core_schedule_recomputes",
+		"hermes_slo_state",
+	} {
+		if !byName[want] {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/slo status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/slo content type = %q", ct)
+	}
+	for _, want := range []string{`"state"`, `"latency_burn"`, `"errors_burn"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/slo body missing %s: %s", want, body)
+		}
+	}
+
+	// Every JSON endpoint declares content type and no-store.
+	for _, path := range []string{"/healthz", "/backends", "/stats", "/circuits", "/slo"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s content type = %q", path, ct)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s cache-control = %q", path, cc)
+		}
+	}
+
+	// /healthz carries the SLO verdict ("ok" on a clean run).
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"slo": "ok"`) {
+		t.Errorf("/healthz missing slo state: %s", body)
+	}
+}
+
+// TestAdminSLODisabled: with the monitor off, /slo 404s and /healthz omits
+// the verdict.
+func TestAdminSLODisabled(t *testing.T) {
+	b := newStubUpstream(t)
+	cfg := testConfig(b)
+	cfg.SLO.Enabled = false
+	p := startProxy(t, cfg)
+	srv := httptest.NewServer(AdminHandler(p))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/slo status = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), `"slo"`) {
+		t.Errorf("/healthz should omit slo when disabled: %s", body)
+	}
+}

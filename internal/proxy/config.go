@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"hermes/internal/telemetry"
 )
 
 // Policy names accepted by Config.Policy.
@@ -70,6 +72,26 @@ type CircuitBreakerConfig struct {
 	Timeout time.Duration
 }
 
+// TelemetrySettings tunes the windowed time-series sampler behind /metrics,
+// /slo, and -stats-every (docs/TELEMETRY.md).
+type TelemetrySettings struct {
+	// WindowTick is the sampling period for windowed rates and quantiles.
+	WindowTick time.Duration
+	// WindowDepth is how many ticks of history the ring retains; the longest
+	// answerable window is WindowTick × (WindowDepth-1).
+	WindowDepth int
+}
+
+// SLOSettings arms the burn-rate monitor over the windowed layer.
+type SLOSettings struct {
+	// Enabled turns SLO evaluation on (state surfaces in /healthz and /slo).
+	Enabled bool
+	// Objectives overrides the default objectives using the spec grammar
+	// "latency<=250ms@99%;errors@99.9%;page=10x/10s+1m;warn=2x/1m+5m"
+	// (telemetry.ParseSLOSpec); "" keeps the defaults.
+	Objectives string
+}
+
 // BufferConfig bounds request buffering and retries.
 type BufferConfig struct {
 	// MaxRequestBody caps the buffered request body in bytes; larger
@@ -97,6 +119,8 @@ type Config struct {
 	HealthCheck    HealthCheckConfig
 	CircuitBreaker CircuitBreakerConfig
 	Buffer         BufferConfig
+	Telemetry      TelemetrySettings
+	SLO            SLOSettings
 
 	// DialTimeout bounds one upstream dial.
 	DialTimeout time.Duration
@@ -136,6 +160,11 @@ func DefaultConfig() Config {
 			MaxRequestBody: 10 << 20,
 			Retries:        2,
 		},
+		Telemetry: TelemetrySettings{
+			WindowTick:  time.Second,
+			WindowDepth: 360,
+		},
+		SLO: SLOSettings{Enabled: true},
 		DialTimeout:       2 * time.Second,
 		ResponseTimeout:   5 * time.Second,
 		ClientIdleTimeout: 5 * time.Second,
@@ -225,7 +254,32 @@ func (c Config) Validate() error {
 	if c.DrainTimeout < 0 {
 		return fmt.Errorf("proxy: drain timeout must be ≥ 0, got %v", c.DrainTimeout)
 	}
+	if err := c.windowConfig().Validate(); err != nil {
+		return fmt.Errorf("proxy: telemetry: %w", err)
+	}
+	if c.SLO.Enabled {
+		if _, err := c.sloConfig(); err != nil {
+			return fmt.Errorf("proxy: slo: %w", err)
+		}
+	}
 	return nil
+}
+
+// windowConfig maps the telemetry settings onto the sampler config.
+func (c Config) windowConfig() telemetry.WindowConfig {
+	return telemetry.WindowConfig{Tick: c.Telemetry.WindowTick, Depth: c.Telemetry.WindowDepth}
+}
+
+// sloConfig resolves the SLO objectives against the proxy.* catalog: totals
+// come from the per-worker served counter (incremented for every proxied
+// request, including 502/503 outcomes), bad events from upstream errors and
+// no-backend 503s, and the latency SLI from the end-to-end histogram.
+func (c Config) sloConfig() (telemetry.SLOConfig, error) {
+	base := telemetry.DefaultSLOConfig()
+	base.LatencyMetric = "proxy.request_latency_ns"
+	base.TotalMetrics = []string{"proxy.worker.requests_served"}
+	base.BadMetrics = []string{"proxy.upstream_errors", "proxy.unavailable"}
+	return telemetry.ParseSLOSpec(c.SLO.Objectives, base)
 }
 
 // ParseBackends parses a comma-separated backend list ("addr" or
@@ -324,6 +378,16 @@ func loadYAML(data []byte, base Config) (Config, error) {
 		d.integer(m, "max_request_body", &c.Buffer.MaxRequestBody)
 		d.integer(m, "retries", &c.Buffer.Retries)
 		d.noExtra("buffer", m)
+	}
+	if m := d.section(root, "telemetry"); m != nil {
+		d.duration(m, "window_tick", &c.Telemetry.WindowTick)
+		d.integer(m, "window_depth", &c.Telemetry.WindowDepth)
+		d.noExtra("telemetry", m)
+	}
+	if m := d.section(root, "slo"); m != nil {
+		d.boolean(m, "enabled", &c.SLO.Enabled)
+		d.str(m, "objectives", &c.SLO.Objectives)
+		d.noExtra("slo", m)
 	}
 	for key := range root {
 		d.errf("unknown top-level section %q", key)

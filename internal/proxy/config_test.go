@@ -195,3 +195,50 @@ func TestParseBackends(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadYAMLTelemetrySLO(t *testing.T) {
+	cfg, err := loadYAML([]byte(`
+telemetry:
+  window_tick: 500ms
+  window_depth: 120
+slo:
+  enabled: "true"
+  objectives: "latency<=100ms@99.5%;errors@99.9%"
+`), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Telemetry.WindowTick != 500*time.Millisecond || cfg.Telemetry.WindowDepth != 120 {
+		t.Errorf("telemetry = %+v", cfg.Telemetry)
+	}
+	if !cfg.SLO.Enabled || cfg.SLO.Objectives != "latency<=100ms@99.5%;errors@99.9%" {
+		t.Errorf("slo = %+v", cfg.SLO)
+	}
+	sloCfg, err := cfg.sloConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sloCfg.LatencyThresholdNS != int64(100*time.Millisecond) {
+		t.Errorf("latency threshold = %d", sloCfg.LatencyThresholdNS)
+	}
+	if sloCfg.LatencyMetric != "proxy.request_latency_ns" {
+		t.Errorf("latency metric = %q", sloCfg.LatencyMetric)
+	}
+
+	// A malformed objectives spec and a bad sampler config fail Validate.
+	bad := DefaultConfig()
+	bad.Backends = []BackendConfig{{Address: "127.0.0.1:9001"}}
+	bad.SLO.Objectives = "latency<=junk"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "slo") {
+		t.Errorf("bad objectives: err = %v", err)
+	}
+	bad = DefaultConfig()
+	bad.Backends = []BackendConfig{{Address: "127.0.0.1:9001"}}
+	bad.Telemetry.WindowDepth = 1
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "telemetry") {
+		t.Errorf("bad window depth: err = %v", err)
+	}
+	if _, err := loadYAML([]byte("slo:\n  burn: \"1\"\n"), DefaultConfig()); err == nil {
+		t.Error("unknown slo key accepted")
+	}
+}

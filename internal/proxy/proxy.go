@@ -61,6 +61,11 @@ type Proxy struct {
 
 	reg *telemetry.Registry
 	tel Instruments
+	// win samples the registry on a wall-clock tick for windowed rates and
+	// quantiles; slo rides its ticks. stopSampler halts the sampler on drain.
+	win         *telemetry.Windows
+	slo         *telemetry.SLO
+	stopSampler func()
 
 	tracer *tracing.Tracer
 	ktr    *tracing.KernelTrace
@@ -164,6 +169,25 @@ func New(cfg Config, opts ...Option) (*Proxy, error) {
 	}
 	p.tel = newInstruments(reg, cfg.Workers, len(cfg.Backends))
 
+	// The windowed layer samples off the hot path: instruments record
+	// normally; the sampler snapshots the registry once per tick.
+	if p.win, err = telemetry.NewWindows(reg, cfg.windowConfig()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if cfg.SLO.Enabled {
+		sloCfg, err := cfg.sloConfig()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if p.slo, err = telemetry.NewSLO(sloCfg, p.win, reg); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	p.stopSampler = p.win.Start()
+
 	p.pool = newPool(cfg, func() int64 { return time.Now().UnixNano() })
 	p.wireBackends()
 	p.drainHook = ctl.NewWorkerHook(0)
@@ -243,6 +267,12 @@ func (p *Proxy) Pool() *Pool { return p.pool }
 
 // Registry exposes the telemetry registry (stats reporting).
 func (p *Proxy) Registry() *telemetry.Registry { return p.reg }
+
+// Windows exposes the windowed time-series layer (admin API, -stats-every).
+func (p *Proxy) Windows() *telemetry.Windows { return p.win }
+
+// SLO exposes the burn-rate monitor, nil when disabled.
+func (p *Proxy) SLO() *telemetry.SLO { return p.slo }
 
 // Config returns the validated configuration the proxy runs.
 func (p *Proxy) Config() Config { return p.cfg }
@@ -548,6 +578,9 @@ func (p *Proxy) shutdown(timeout time.Duration) error {
 	p.ln.Close()
 	if p.checker != nil {
 		p.checker.Stop()
+	}
+	if p.stopSampler != nil {
+		p.stopSampler()
 	}
 
 	// Wake idle keep-alive readers so they observe the drain.

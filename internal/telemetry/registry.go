@@ -139,6 +139,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Name:  e.m.Name,
 			Layer: e.m.Layer,
 			Unit:  e.m.Unit,
+			Help:  e.m.Help,
 			Kind:  e.kind.String(),
 		}
 		switch e.kind {

@@ -24,6 +24,7 @@ type MetricSnapshot struct {
 	Layer string `json:"layer"`
 	Kind  string `json:"kind"`
 	Unit  string `json:"unit,omitempty"`
+	Help  string `json:"help,omitempty"`
 
 	// Value carries counter/gauge readings.
 	Value int64 `json:"value,omitempty"`

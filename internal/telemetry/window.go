@@ -1,0 +1,392 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"hermes/internal/stats"
+)
+
+// This file is the windowed time-series layer: a fixed-size ring of whole
+// registry snapshots sampled on a tick (wall clock in the live proxy,
+// explicit Tick calls under the sim clock), from which callers derive
+// windowed rates, deltas, and rolling histogram quantiles by diffing two
+// ring edges. Sampling runs entirely off the hot path — recording stays the
+// same one-or-two-atomics it always was; the sampler goroutine pays the
+// snapshot cost on its own time.
+
+// WindowConfig tunes the sampling ring.
+type WindowConfig struct {
+	// Tick is the sampling period used by Start (manual Tick callers pick
+	// their own cadence).
+	Tick time.Duration
+	// Depth is the number of retained ticks; Depth×Tick bounds the longest
+	// answerable window.
+	Depth int
+}
+
+// DefaultWindowConfig retains six minutes of one-second ticks — enough for
+// the default SRE-workbook-style burn windows (10s/1m/5m).
+func DefaultWindowConfig() WindowConfig {
+	return WindowConfig{Tick: time.Second, Depth: 360}
+}
+
+// Validate reports the first invalid field.
+func (c WindowConfig) Validate() error {
+	if c.Tick <= 0 {
+		return fmt.Errorf("telemetry: window tick must be positive, got %v", c.Tick)
+	}
+	if c.Depth < 2 {
+		return fmt.Errorf("telemetry: window depth must be ≥ 2, got %d", c.Depth)
+	}
+	return nil
+}
+
+// tickPoint is one retained sample: the whole registry at one instant.
+type tickPoint struct {
+	tsNS int64
+	snap Snapshot
+}
+
+// Windows samples a Registry into a ring of snapshots and answers windowed
+// queries by diffing ring edges. Tick (or the Start goroutine) is the only
+// writer; queries take a read lock and never block recording.
+type Windows struct {
+	reg *Registry
+	cfg WindowConfig
+
+	mu   sync.RWMutex
+	ring []tickPoint
+	n    uint64 // total ticks taken; next slot = n % depth
+
+	onTick []func(nowNS int64) // run after each tick, outside the write lock
+
+	startOnce sync.Once
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+}
+
+// NewWindows builds a sampler over reg. The config must validate; the zero
+// ring answers no windows until two ticks have been taken.
+func NewWindows(reg *Registry, cfg WindowConfig) (*Windows, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Windows{
+		reg:    reg,
+		cfg:    cfg,
+		ring:   make([]tickPoint, cfg.Depth),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}, nil
+}
+
+// Config returns the sampling configuration.
+func (w *Windows) Config() WindowConfig { return w.cfg }
+
+// OnTick registers fn to run after every tick (the SLO monitor's hook).
+// Must be called before Start or the first Tick.
+func (w *Windows) OnTick(fn func(nowNS int64)) {
+	w.onTick = append(w.onTick, fn)
+}
+
+// Tick samples the registry at nowNS. This is the sim-clock entry point;
+// Start drives it on the wall clock. Hooks run after the ring is updated.
+func (w *Windows) Tick(nowNS int64) {
+	snap := w.reg.Snapshot()
+	w.mu.Lock()
+	w.ring[w.n%uint64(len(w.ring))] = tickPoint{tsNS: nowNS, snap: snap}
+	w.n++
+	w.mu.Unlock()
+	for _, fn := range w.onTick {
+		fn(nowNS)
+	}
+}
+
+// Ticks returns how many samples have been taken.
+func (w *Windows) Ticks() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.n
+}
+
+// Start launches the wall-clock sampler goroutine; the returned stop
+// function halts it and waits for it to exit. Start is idempotent.
+func (w *Windows) Start() (stop func()) {
+	w.startOnce.Do(func() {
+		go func() {
+			defer close(w.doneCh)
+			t := time.NewTicker(w.cfg.Tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.stopCh:
+					return
+				case now := <-t.C:
+					w.Tick(now.UnixNano())
+				}
+			}
+		}()
+	})
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(w.stopCh)
+			<-w.doneCh
+		})
+	}
+}
+
+// Window returns the delta view spanning approximately d: the newest tick
+// is the end edge, and the start edge is the newest retained tick at least
+// d older (falling back to the oldest retained tick when history is
+// shorter). ok is false until two ticks with distinct timestamps exist.
+func (w *Windows) Window(d time.Duration) (WindowDelta, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	depth := uint64(len(w.ring))
+	have := w.n
+	if have > depth {
+		have = depth
+	}
+	if have < 2 {
+		return WindowDelta{}, false
+	}
+	at := func(i uint64) tickPoint { // i: 0 = oldest retained
+		return w.ring[(w.n-have+i)%depth]
+	}
+	end := at(have - 1)
+	cutoff := end.tsNS - int64(d)
+	start := at(0)
+	for i := have - 1; i > 0; i-- {
+		if p := at(i - 1); p.tsNS <= cutoff {
+			start = p
+			break
+		}
+	}
+	if start.tsNS >= end.tsNS {
+		return WindowDelta{}, false
+	}
+	return NewWindowDelta(start.tsNS, end.tsNS, start.snap, end.snap), true
+}
+
+// WindowDelta is the difference between two registry snapshots — the unit
+// every windowed query (rate, windowed quantile, SLI ratio) is answered
+// from. Build one from a Windows ring or directly from two snapshots
+// (hermes-lb's -stats-every interval reporting).
+type WindowDelta struct {
+	StartNS, EndNS int64
+	start, end     Snapshot
+}
+
+// NewWindowDelta pairs two snapshots taken at the given instants.
+func NewWindowDelta(startNS, endNS int64, start, end Snapshot) WindowDelta {
+	return WindowDelta{StartNS: startNS, EndNS: endNS, start: start, end: end}
+}
+
+// Elapsed returns the window span.
+func (d WindowDelta) Elapsed() time.Duration {
+	return time.Duration(d.EndNS - d.StartNS)
+}
+
+// End returns the end-edge snapshot (current gauge values and so on).
+func (d WindowDelta) End() Snapshot { return d.end }
+
+// Delta returns how much the named counter (or counter-vec total) grew over
+// the window. Metrics absent at the start edge count from zero; negative
+// deltas (a restarted registry) clamp to zero.
+func (d WindowDelta) Delta(name string) int64 {
+	cur := d.end.Get(name)
+	if cur == nil {
+		return 0
+	}
+	v := cur.Total()
+	if prev := d.start.Get(name); prev != nil {
+		v -= prev.Total()
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// SlotDelta returns one vec slot's growth over the window.
+func (d WindowDelta) SlotDelta(name string, i int) int64 {
+	cur := d.end.Get(name)
+	if cur == nil || i < 0 || i >= len(cur.Values) {
+		return 0
+	}
+	v := cur.Values[i]
+	if prev := d.start.Get(name); prev != nil && i < len(prev.Values) {
+		v -= prev.Values[i]
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Rate returns Delta per second over the window.
+func (d WindowDelta) Rate(name string) float64 {
+	sec := float64(d.EndNS-d.StartNS) / 1e9
+	if sec <= 0 {
+		return 0
+	}
+	return float64(d.Delta(name)) / sec
+}
+
+// histDelta returns the named histogram's per-bucket growth over the
+// window: bounds plus one count per bucket (trailing +Inf included).
+func (d WindowDelta) histDelta(name string) (bounds []int64, counts []uint64, ok bool) {
+	cur := d.end.Get(name)
+	if cur == nil || len(cur.Buckets) == 0 {
+		return nil, nil, false
+	}
+	prev := d.start.Get(name)
+	counts = make([]uint64, len(cur.Buckets))
+	for i, b := range cur.Buckets {
+		c := b.Count
+		if prev != nil && i < len(prev.Buckets) {
+			if p := prev.Buckets[i].Count; p <= c {
+				c -= p
+			} else {
+				c = 0
+			}
+		}
+		counts[i] = c
+		if !b.Inf {
+			bounds = append(bounds, b.LE)
+		}
+	}
+	return bounds, counts, true
+}
+
+// HistCount returns how many observations the named histogram recorded
+// inside the window.
+func (d WindowDelta) HistCount(name string) uint64 {
+	_, counts, ok := d.histDelta(name)
+	if !ok {
+		return 0
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Quantile estimates quantile p of the named histogram over the window
+// alone (bucket-count deltas through stats.BucketQuantile). ok is false
+// when the histogram is absent or recorded nothing inside the window.
+func (d WindowDelta) Quantile(name string, p float64) (float64, bool) {
+	bounds, counts, ok := d.histDelta(name)
+	if !ok {
+		return 0, false
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return stats.BucketQuantile(bounds, counts, p), true
+}
+
+// FractionAtMost returns the fraction of the window's observations ≤ v,
+// interpolating linearly inside the containing bucket (the latency-SLI
+// "good events" ratio). ok is false with no observations in the window.
+func (d WindowDelta) FractionAtMost(name string, v int64) (float64, bool) {
+	bounds, counts, ok := d.histDelta(name)
+	if !ok {
+		return 0, false
+	}
+	var total, below uint64
+	var frac float64
+	for i, c := range counts {
+		total += c
+		if i >= len(bounds) {
+			continue // +Inf bucket: never ≤ a finite v unless v ≥ last bound, handled below
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		switch {
+		case hi <= v:
+			below += c
+		case lo < v && v < hi:
+			frac += float64(c) * float64(v-lo) / float64(hi-lo)
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	if len(bounds) > 0 && v >= bounds[len(bounds)-1] {
+		// v at or beyond the last finite bound: everything finite is good;
+		// the +Inf bucket stays bad (unknown magnitude).
+		below = total - counts[len(counts)-1]
+		frac = 0
+	}
+	return (float64(below) + frac) / float64(total), true
+}
+
+// Text renders the window as a human-readable delta report, one metric per
+// line, mirroring Snapshot.Text but with per-window deltas and rates:
+// counters as "+N (R/s)", histograms as windowed count/mean/p50/p99, gauges
+// as their end-edge value. This is what hermes-lb -stats-every prints
+// between startup and the final cumulative snapshot.
+func (d WindowDelta) Text() string {
+	var b strings.Builder
+	d.WriteText(&b)
+	return b.String()
+}
+
+// WriteText renders Text into w.
+func (d WindowDelta) WriteText(w io.Writer) {
+	sec := float64(d.EndNS-d.StartNS) / 1e9
+	for i := range d.end.Metrics {
+		ms := &d.end.Metrics[i]
+		fmt.Fprintf(w, "%-34s %-12s", ms.Name, ms.Kind)
+		switch ms.Kind {
+		case "histogram":
+			bounds, counts, _ := d.histDelta(ms.Name)
+			var n uint64
+			for _, c := range counts {
+				n += c
+			}
+			var sum int64
+			if prev := d.start.Get(ms.Name); prev != nil {
+				sum = ms.Sum - prev.Sum
+			} else {
+				sum = ms.Sum
+			}
+			if n == 0 {
+				fmt.Fprintf(w, "+0 %s", ms.Unit)
+			} else {
+				fmt.Fprintf(w, "+%d (%.1f/s) mean=%.0f p50=%.0f p99=%.0f %s",
+					n, float64(n)/sec, float64(sum)/float64(n),
+					stats.BucketQuantile(bounds, counts, 0.50),
+					stats.BucketQuantile(bounds, counts, 0.99), ms.Unit)
+			}
+		case "gauge":
+			fmt.Fprintf(w, "%d %s", ms.Value, ms.Unit)
+		case "gauge_vec":
+			fmt.Fprintf(w, "total=%d per-slot=%v %s", ms.Total(), ms.Values, ms.Unit)
+		case "timeline_vec":
+			total := 0
+			for _, tl := range ms.Timelines {
+				total += len(tl)
+			}
+			fmt.Fprintf(w, "slots=%d samples=%d %s", len(ms.Timelines), total, ms.Unit)
+		default: // counter, counter_vec
+			delta := d.Delta(ms.Name)
+			fmt.Fprintf(w, "+%d (%.1f/s) %s", delta, float64(delta)/sec, ms.Unit)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -24,9 +24,11 @@ trap cleanup EXIT
 
 fail() { echo "e2e: FAIL: $*" >&2; exit 1; }
 
-echo "e2e: building hermes-lb and hermesctl"
+echo "e2e: building hermes-lb, hermesctl, hermes-top, checkprom"
 go build -o "$WORK/hermes-lb" ./cmd/hermes-lb
 go build -o "$WORK/hermesctl" ./cmd/hermesctl
+go build -o "$WORK/hermes-top" ./cmd/hermes-top
+go build -o "$WORK/checkprom" ./cmd/checkprom
 
 ctl() { "$WORK/hermesctl" -admin "$ADMIN" "$@"; }
 
@@ -135,6 +137,30 @@ done
 bad=$(load 20 | tail -n1)
 [ "$bad" = 0 ] || fail "$bad/20 requests failed after recovery"
 echo "e2e: phase 3 ok (backend readmitted, pool back to full strength)"
+
+# Phase 4: the live metrics plane. Scrape /metrics while load is in flight
+# and run it through the strict OpenMetrics conformance checker; the SLO
+# endpoint and the dashboards must render off the same plane.
+load 20 >/dev/null &
+LOAD_PID=$!
+ctl metrics >"$WORK/scrape.prom"
+wait "$LOAD_PID" || true
+"$WORK/checkprom" "$WORK/scrape.prom" >/dev/null || fail "/metrics failed OpenMetrics conformance"
+grep -q 'hermes_proxy_request_latency_ns_bucket' "$WORK/scrape.prom" ||
+  fail "exposition missing the latency histogram family"
+grep -q 'hermes_slo_state' "$WORK/scrape.prom" || fail "exposition missing the SLO gauges"
+# ok normally; warn is legitimate for a tick or two — the injected worker
+# crash and the phase-2 backend kill can leave a few slow requests in the
+# warn windows. page (or a missing verdict) is a real failure.
+ctl slo | grep -Eq 'state: *(ok|warn)' || { ctl slo; fail "slo monitor paging (or absent) under clean load"; }
+ctl status | grep -Eq 'slo: *(ok|warn)' || { ctl status; fail "status missing the SLO verdict"; }
+"$WORK/hermes-top" -admin "$ADMIN" -interval 200ms -once >"$WORK/top.out" ||
+  fail "hermes-top -once failed"
+grep -q 'WORKER' "$WORK/top.out" && grep -q "$B1" "$WORK/top.out" ||
+  { cat "$WORK/top.out"; fail "hermes-top frame incomplete"; }
+ctl -interval 200ms -count 2 watch >"$WORK/watch.out" || fail "hermesctl watch failed"
+[ "$(wc -l <"$WORK/watch.out")" -eq 3 ] || { cat "$WORK/watch.out"; fail "watch should print a header + 2 rows"; }
+echo "e2e: phase 4 ok (scrape conformant, slo ok, dashboards render)"
 
 # Final: stats must reconcile, and shutdown must drain cleanly (exit 0).
 ctl stats | grep -q 'served:' || fail "stats rendering broken"
