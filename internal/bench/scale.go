@@ -42,6 +42,7 @@ type scaleCell struct {
 	drops       uint64 // SYN-time rejections (accept-queue overflow)
 	imbalance   float64
 	wallS       float64
+	tableGrows  uint64 // sum of per-worker conn-table regrowths (want 0)
 }
 
 type scaleExperiment struct{}
@@ -112,6 +113,13 @@ func runScaleCell(fleet, conns int, mode l7lb.Mode, seed int64, o Options,
 	cfg.Ports = []uint16{8080}
 	cfg.Telemetry = tel
 	cfg.Tracer = tr
+	cfg.BatchWidth = o.Batch
+	// Pre-size every worker's connection table from the cell's planned
+	// connection count: an even share per worker is orders of magnitude
+	// above peak concurrently-open conns (each lives ~µs of virtual time),
+	// so steady state never regrows a table — pinned by
+	// TestScaleCellConnTableNeverRegrows.
+	cfg.ConnsPerWorkerHint = conns/fleet + 1
 	lb, err := l7lb.New(eng, cfg)
 	if err != nil {
 		panic(err)
@@ -138,6 +146,11 @@ func runScaleCell(fleet, conns int, mode l7lb.Mode, seed int64, o Options,
 			DstIP:   0x0a00_0001,
 			DstPort: 8080,
 		}
+		// SYN and first-request deliveries happen back-to-back in this one
+		// engine event, so the burst bracket may coalesce their wakeups
+		// (BatchWidth > 1) without any observable reordering; at width ≤ 1
+		// it is the paper-literal trampoline path, untouched.
+		lb.NS.BeginBurst()
 		if conn, ok := lb.NS.DeliverSYN(tuple, nil); ok {
 			lb.NS.DeliverData(conn, l7lb.Work{
 				ArrivalNS: eng.Now(), Cost: reqCost, Close: true, Tenant: 8080,
@@ -145,6 +158,7 @@ func runScaleCell(fleet, conns int, mode l7lb.Mode, seed int64, o Options,
 		} else {
 			res.drops++
 		}
+		lb.NS.EndBurst()
 		i++
 		if i < conns {
 			eng.At(int64(i)*interval, arrive)
@@ -158,6 +172,7 @@ func runScaleCell(fleet, conns int, mode l7lb.Mode, seed int64, o Options,
 	accepted := make([]float64, len(lb.Workers))
 	for wi, w := range lb.Workers {
 		accepted[wi] = float64(w.Accepted)
+		res.tableGrows += w.ConnTableGrows
 	}
 	mean, sd := stats.MeanStddev(accepted)
 	if mean > 0 {

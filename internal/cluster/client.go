@@ -25,6 +25,14 @@ type Client struct {
 	Errors uint64
 
 	nextSrc uint32
+
+	// frames recycles the wire buffers: a frame is consumed synchronously by
+	// Ingress (nothing downstream retains it), so one Get/Put bracket per
+	// push keeps the client's steady state allocation-free.
+	frames *packet.FramePool
+	// payload is the request-body scratch, zeroed before each use so frame
+	// bytes (and checksums) match the old freshly-allocated payloads.
+	payload []byte
 }
 
 // NewClient creates a client fleet for the tenant with the given VNI.
@@ -35,21 +43,40 @@ func (c *Cluster) NewClient(vni uint32) *Client {
 		rng:       c.Eng.Rand(),
 		gatewayIP: 0x0b00_0001,
 		l4IP:      0x0b00_0002,
+		frames:    packet.NewFramePool(0, 1),
 	}
 }
 
 func (cl *Client) push(srcIP uint32, srcPort uint16, flags uint8, payload []byte) {
-	inner := packet.TCPSegment(srcIP, 0x0a00_0001, packet.TCP{
-		SrcPort: srcPort,
-		DstPort: cl.tenant.PublicPort,
-		Flags:   flags,
-		Window:  65535,
-	}, payload)
-	frame := packet.EncapVXLAN(cl.gatewayIP, cl.l4IP, cl.tenant.VNI, inner)
+	frame := packet.AppendEncapTCPFrame(cl.frames.Get(),
+		cl.gatewayIP, cl.l4IP, cl.tenant.VNI,
+		srcIP, 0x0a00_0001, packet.TCP{
+			SrcPort: srcPort,
+			DstPort: cl.tenant.PublicPort,
+			Flags:   flags,
+			Window:  65535,
+		}, payload)
 	cl.FramesSent++
 	if err := cl.c.Ingress(frame); err != nil {
 		cl.Errors++
 	}
+	cl.frames.Put(frame)
+}
+
+// reqPayload returns an n-byte zeroed request body from the client's scratch
+// (n ≥ 1), with the close marker set when closeAfter. Valid until the next
+// call; push consumes it synchronously.
+func (cl *Client) reqPayload(n int, closeAfter bool) []byte {
+	n = max(1, n)
+	if cap(cl.payload) < n {
+		cl.payload = make([]byte, n)
+	}
+	p := cl.payload[:n]
+	clear(p)
+	if closeAfter {
+		p[n-1] = closeMarker
+	}
+	return p
 }
 
 // OpenAndRequest schedules, at absolute virtual time at: a SYN, then after
@@ -63,11 +90,7 @@ func (cl *Client) OpenAndRequest(at, delay time.Duration, reqBytes int, closeAft
 	cl.c.Eng.At(int64(at), func() {
 		cl.push(srcIP, srcPort, packet.FlagSYN, nil)
 		cl.c.Eng.After(delay, func() {
-			payload := make([]byte, max(1, reqBytes))
-			if closeAfter {
-				payload[len(payload)-1] = closeMarker
-			}
-			cl.push(srcIP, srcPort, packet.FlagPSH|packet.FlagACK, payload)
+			cl.push(srcIP, srcPort, packet.FlagPSH|packet.FlagACK, cl.reqPayload(reqBytes, closeAfter))
 		})
 	})
 }

@@ -47,8 +47,15 @@ type Config struct {
 	WorkersPerDevice int
 	// LB optionally tweaks each device's config before construction.
 	LB func(device int, cfg *l7lb.Config)
-	// Work converts payloads to processing costs (required).
+	// Work converts payloads to processing costs (required). The payload
+	// slice aliases the ingress frame and is only valid for the duration of
+	// the call.
 	Work WorkFactory
+	// ExpectedFlows pre-sizes the flow table and pre-populates the
+	// flow-state free list, so a cell that opens millions of flows never
+	// rehashes the table or allocates flow states in steady state. 0 keeps
+	// lazy sizing.
+	ExpectedFlows int
 }
 
 // Cluster is the assembled pipeline.
@@ -58,8 +65,17 @@ type Cluster struct {
 	Devices []*l7lb.LB
 
 	// flows tracks live inner connections: flow key → device + conn.
-	flows       map[flowKey]*flowState
+	flows map[flowKey]*flowState
+	// flowFree recycles flowState objects (the map is their only holder, so
+	// a state is free exactly when its key is deleted — no dangling refs to
+	// guard, and conn is a checked ref regardless). At 1M-conn scale the
+	// per-SYN allocation otherwise dominates the L4 path.
+	flowFree    []*flowState
 	workFactory WorkFactory
+
+	// sortedPorts is the tenant L7 port list computed once at New (Tenants
+	// is a map; iteration order must never leak into device configs).
+	sortedPorts []uint16
 
 	// Detector, if set, observes per-VNI SYN arrivals at the L4 LB and
 	// flags flooding tenants (Appendix C: SYN-flood / CC attack detection).
@@ -108,8 +124,16 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Eng:     eng,
 		Tenants: make(map[uint32]Tenant, len(cfg.Tenants)),
-		flows:   make(map[flowKey]*flowState),
+		flows:   make(map[flowKey]*flowState, cfg.ExpectedFlows),
 		blocked: make(map[uint32]bool),
+	}
+	if n := cfg.ExpectedFlows; n > 0 {
+		// One contiguous slab instead of n small objects.
+		slab := make([]flowState, n)
+		c.flowFree = make([]*flowState, n)
+		for i := range slab {
+			c.flowFree[i] = &slab[i]
+		}
 	}
 	ports := make([]uint16, 0, len(cfg.Tenants))
 	for _, t := range cfg.Tenants {
@@ -119,6 +143,8 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		c.Tenants[t.VNI] = t
 		ports = append(ports, t.L7Port)
 	}
+	c.sortedPorts = append([]uint16(nil), ports...)
+	sortPorts(c.sortedPorts)
 	for di, mode := range cfg.DeviceModes {
 		lcfg := l7lb.DefaultConfig(mode)
 		lcfg.Workers = cfg.WorkersPerDevice
@@ -149,14 +175,9 @@ func (c *Cluster) Start() {
 // through the flow table, exactly the per-connection consistency a real L4
 // LB maintains during scale-out.
 func (c *Cluster) AddDevice(mode l7lb.Mode, workers int, mutate func(*l7lb.Config)) (*l7lb.LB, error) {
-	ports := make([]uint16, 0, len(c.Tenants))
-	for _, t := range c.Tenants {
-		ports = append(ports, t.L7Port)
-	}
-	sortPorts(ports)
 	lcfg := l7lb.DefaultConfig(mode)
 	lcfg.Workers = workers
-	lcfg.Ports = ports
+	lcfg.Ports = c.sortedPorts
 	if mutate != nil {
 		mutate(&lcfg)
 	}
@@ -176,6 +197,27 @@ func sortPorts(p []uint16) {
 			p[j], p[j-1] = p[j-1], p[j]
 		}
 	}
+}
+
+// allocFlow pops a recycled flow state (or allocates when the free list is
+// dry) and initialises it.
+func (c *Cluster) allocFlow(device int, conn kernel.ConnRef, tenant Tenant) *flowState {
+	var fs *flowState
+	if n := len(c.flowFree); n > 0 {
+		fs = c.flowFree[n-1]
+		c.flowFree[n-1] = nil
+		c.flowFree = c.flowFree[:n-1]
+	} else {
+		fs = &flowState{}
+	}
+	fs.device, fs.conn, fs.tenant = device, conn, tenant
+	return fs
+}
+
+// freeFlow recycles a flow state whose key has just been deleted.
+func (c *Cluster) freeFlow(fs *flowState) {
+	fs.conn = kernel.ConnRef{}
+	c.flowFree = append(c.flowFree, fs)
 }
 
 // ecmp picks the device for a flow: per-connection-consistent 5-tuple hash,
@@ -242,7 +284,7 @@ func (c *Cluster) Ingress(frame []byte) error {
 			return fmt.Errorf("cluster: device %d refused flow", di)
 		}
 		c.FlowsOpened++
-		c.flows[k] = &flowState{device: di, conn: conn.Ref(), tenant: tenant}
+		c.flows[k] = c.allocFlow(di, conn.Ref(), tenant)
 	case tcp.Flags&(packet.FlagFIN|packet.FlagRST) != 0:
 		fs, ok := c.flows[k]
 		if !ok {
@@ -253,6 +295,7 @@ func (c *Cluster) Ingress(frame []byte) error {
 			c.Devices[fs.device].NS.DeliverFIN(conn)
 		}
 		delete(c.flows, k)
+		c.freeFlow(fs)
 	default:
 		fs, ok := c.flows[k]
 		var conn *kernel.Conn
@@ -268,9 +311,31 @@ func (c *Cluster) Ingress(frame []byte) error {
 		c.Devices[fs.device].NS.DeliverData(conn, work)
 		if last {
 			delete(c.flows, k)
+			c.freeFlow(fs)
 		}
 	}
 	return nil
+}
+
+// IngressBurst processes a same-tick vector of gateway frames — a NIC RX
+// burst at the L4 LB — coalescing each device's wakeups through the kernel
+// burst API. With BatchWidth ≤ 1 on the devices this is exactly a loop over
+// Ingress; wider widths deliver the same trace with fewer engine events.
+// Returns the number of frames accepted; rejects bump the usual counters.
+func (c *Cluster) IngressBurst(frames [][]byte) int {
+	for _, d := range c.Devices {
+		d.NS.BeginBurst()
+	}
+	accepted := 0
+	for _, f := range frames {
+		if c.Ingress(f) == nil {
+			accepted++
+		}
+	}
+	for _, d := range c.Devices {
+		d.NS.EndBurst()
+	}
+	return accepted
 }
 
 // BlockTenant migrates a tenant off this cluster: its SYNs are refused here

@@ -73,6 +73,10 @@ type watch struct {
 	prev, next *watch
 	// Epoll ready-list links (Epoll.readyHead/readyTail).
 	readyPrev, readyNext *watch
+	// Epoll interest-list links (Epoll.watchHead). The third intrusive
+	// list: an epoll's interest set is a linked list off the instance, not
+	// a map, so registration never rehashes as connection counts grow.
+	epPrev, epNext *watch
 }
 
 // Epoll simulates one epoll instance, owned by exactly one worker (the
@@ -82,8 +86,14 @@ type watch struct {
 type Epoll struct {
 	ID int
 
-	ns       *NetStack
-	interest map[*Socket]*watch
+	ns *NetStack
+	// Interest list: intrusive list of this instance's watches. Lookup by
+	// socket goes through the socket's (short) wait-queue list instead of
+	// a map: a connection socket has at most one watcher, a listener has
+	// one per worker — and the map's per-conn rehash growth at 1M-conn
+	// scale was the kernel's last steady-state allocator.
+	watchHead *watch
+	nWatch    int
 	// Ready list: intrusive FIFO of watches with pending readiness.
 	readyHead *watch
 	readyTail *watch
@@ -138,14 +148,14 @@ func (ep *Epoll) Add(s *Socket) { ep.add(s, false) }
 func (ep *Epoll) AddET(s *Socket) { ep.add(s, true) }
 
 func (ep *Epoll) add(s *Socket, et bool) {
-	if _, dup := ep.interest[s]; dup {
+	if ep.findWatch(s) != nil {
 		panic(fmt.Sprintf("kernel: epoll %d already watches socket %d", ep.ID, s.ID))
 	}
 	w := ep.ns.newWatch()
 	w.ep = ep
 	w.sock = s
 	w.et = et
-	ep.interest[s] = w
+	ep.watchAttach(w)
 	s.addWatch(w)
 	if s.ready() {
 		ep.markReady(w)
@@ -154,18 +164,52 @@ func (ep *Epoll) add(s *Socket, et bool) {
 
 // Del removes a socket (EPOLL_CTL_DEL).
 func (ep *Epoll) Del(s *Socket) {
-	w, ok := ep.interest[s]
-	if !ok {
+	w := ep.findWatch(s)
+	if w == nil {
 		return
 	}
-	delete(ep.interest, s)
+	ep.watchDetach(w)
 	s.removeWatch(w)
 	ep.readyRemove(w)
 	ep.ns.releaseWatch(w)
 }
 
+// findWatch resolves this instance's watch on s by walking the socket's
+// wait queue — O(watchers on s), which is 1 for connection sockets and
+// #workers for a shared listener.
+func (ep *Epoll) findWatch(s *Socket) *watch {
+	for w := s.watchHead; w != nil; w = w.next {
+		if w.ep == ep {
+			return w
+		}
+	}
+	return nil
+}
+
+func (ep *Epoll) watchAttach(w *watch) {
+	w.epNext = ep.watchHead
+	if ep.watchHead != nil {
+		ep.watchHead.epPrev = w
+	}
+	ep.watchHead = w
+	ep.nWatch++
+}
+
+func (ep *Epoll) watchDetach(w *watch) {
+	if w.epPrev != nil {
+		w.epPrev.epNext = w.epNext
+	} else {
+		ep.watchHead = w.epNext
+	}
+	if w.epNext != nil {
+		w.epNext.epPrev = w.epPrev
+	}
+	w.epPrev, w.epNext = nil, nil
+	ep.nWatch--
+}
+
 // Watches returns the number of sockets in the interest list.
-func (ep *Epoll) Watches() int { return len(ep.interest) }
+func (ep *Epoll) Watches() int { return ep.nWatch }
 
 func (ep *Epoll) markReady(w *watch) {
 	if w.inReady {
@@ -287,7 +331,11 @@ func (ep *Epoll) Wait(maxEvents int, timeout time.Duration, fn func([]Event)) {
 	}
 }
 
-// schedule enqueues a delivery and arms the trampoline for it.
+// schedule enqueues a delivery and arms the trampoline for it. While a
+// burst is open (and the stack's width allows coalescing), the per-delivery
+// trampoline is replaced by an entry in the stack's flush frame: the frame's
+// single flush event pops this queue in the same global order the dedicated
+// trampolines would have fired in.
 func (ep *Epoll) schedule(d delivery) {
 	if len(ep.pendQ) == cap(ep.pendQ) && ep.pendQHead > 0 {
 		n := copy(ep.pendQ, ep.pendQ[ep.pendQHead:])
@@ -298,6 +346,10 @@ func (ep *Epoll) schedule(d delivery) {
 		ep.pendQHead = 0
 	}
 	ep.pendQ = append(ep.pendQ, d)
+	if ns := ep.ns; ns.burstDepth > 0 && ns.burstWidth > 1 {
+		ns.burstEnqueue(ep)
+		return
+	}
 	ep.ns.eng.At(ep.ns.eng.Now(), ep.deliverFn)
 }
 
@@ -361,10 +413,11 @@ func (ep *Epoll) Close() {
 		ep.wFn = nil
 		ep.wTimer.Cancel()
 	}
-	for s, w := range ep.interest {
-		s.removeWatch(w)
+	for ep.watchHead != nil {
+		w := ep.watchHead
+		w.sock.removeWatch(w)
 		ep.readyRemove(w)
-		delete(ep.interest, s)
+		ep.watchDetach(w)
 		ep.ns.releaseWatch(w)
 	}
 	ep.readyHead, ep.readyTail = nil, nil

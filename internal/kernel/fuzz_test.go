@@ -64,13 +64,13 @@ func TestFuzzNetstackInvariants(t *testing.T) {
 				for _, h := range watchRefs {
 					if h.w.gen == h.gen {
 						// Handle still current: the registration must be intact.
-						if got := h.ep.interest[h.sock]; got != h.w {
+						if got := h.ep.findWatch(h.sock); got != h.w {
 							t.Fatalf("live watch handle not registered: epoll %d sock %d", h.ep.ID, h.sock.ID)
 						}
 						if h.w.ep != h.ep || h.w.sock != h.sock {
 							t.Fatalf("live watch handle mutated: epoll %d sock %d", h.ep.ID, h.sock.ID)
 						}
-					} else if got, ok := h.ep.interest[h.sock]; ok && got == h.w && got.gen == h.gen {
+					} else if got := h.ep.findWatch(h.sock); got == h.w && got.gen == h.gen {
 						t.Fatalf("recycled watch still registered under old generation: epoll %d sock %d", h.ep.ID, h.sock.ID)
 					}
 				}
@@ -117,7 +117,7 @@ func TestFuzzNetstackInvariants(t *testing.T) {
 								defer func() { recover() }() // duplicate Add panics by contract
 								ep.Add(s)
 							}()
-							if w, ok := ep.interest[s]; ok {
+							if w := ep.findWatch(s); w != nil {
 								watchRefs = append(watchRefs, watchHandle{w: w, gen: w.gen, ep: ep, sock: s})
 							}
 						}
@@ -213,7 +213,7 @@ func TestFuzzNetstackInvariants(t *testing.T) {
 									defer func() { recover() }()
 									ep.Add(s)
 								}()
-								if w, ok := ep.interest[s]; ok {
+								if w := ep.findWatch(s); w != nil {
 									watchRefs = append(watchRefs, watchHandle{w: w, gen: w.gen, ep: ep, sock: s})
 								}
 							}

@@ -177,6 +177,17 @@ type Config struct {
 	// MaxConnsPerWorker models the preallocated connection pool (§5.1.1);
 	// accepts beyond it are reset. 0 = unlimited.
 	MaxConnsPerWorker int
+	// ConnsPerWorkerHint pre-sizes each worker's connection table to the
+	// cell's planned per-worker connection count, so steady-state accepts
+	// never regrow the table (Worker.ConnTableGrows stays 0). 0 keeps the
+	// small default; MaxConnsPerWorker still caps the pre-size.
+	ConnsPerWorkerHint int
+	// BatchWidth is the kernel's arrival/delivery coalescing width
+	// (NetStack.SetBurstWidth): how many same-tick deliveries share one
+	// flush event. ≤1 is the paper-literal one-trampoline-per-wake path;
+	// any width produces a byte-identical simulation trace (the burst fuzz
+	// oracle pins this), wider just costs fewer engine events.
+	BatchWidth int
 	// Costs is the fixed-function cost model.
 	Costs CostModel
 	// Shed is the optional degradation policy (Hermes modes only).

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hermes/internal/kernel"
+	"hermes/internal/sim"
 	"hermes/internal/stats"
 	"hermes/internal/telemetry"
 	"hermes/internal/tracing"
@@ -55,6 +56,27 @@ type Worker struct {
 	// call would allocate on every loop iteration.
 	onWakeFn func([]kernel.Event)
 
+	// Batched dispatch state. The in-flight event burst, its cursor, and
+	// the pending serve completion live on the worker, and the loop's
+	// continuations are the pre-bound fns below — so steady-state dispatch
+	// schedules no closures at all. Exactly one continuation timer is
+	// outstanding at a time (the per-event cost charge or the loop tail);
+	// Crash cancels it so a restarted incarnation can never be driven by a
+	// stale timer, and contGen backstops the gate-deferred paths.
+	batchEvs  []kernel.Event
+	batchIdx  int
+	contGen   uint64
+	contTimer sim.Timer
+	serv      servState
+
+	onWakeGateFn func()
+	afterEventFn func()
+	endLoopFn    func()
+
+	// ConnTableGrows counts conns-slice regrowths after construction; the
+	// scale harness pins it at zero when a capacity hint is configured.
+	ConnTableGrows uint64
+
 	// Executor state (ModeDispatcher).
 	jobs         []execJob
 	jobRunning   bool
@@ -94,10 +116,28 @@ type execJob struct {
 	done func()
 }
 
+// servState carries an EvReadable serve from handle to its completion in
+// afterEvent — the fields the old per-event completion closure captured.
+// Only one serve is in flight per worker (run-to-completion), so a single
+// embedded struct replaces a closure allocation per request.
+type servState struct {
+	active     bool
+	sock       *kernel.Socket
+	connRef    kernel.ConnRef
+	work       Work
+	serveStart int64
+	backendID  int
+	forwarded  bool
+}
+
 func newWorker(lb *LB, id int, hook Hook) *Worker {
 	// Pre-size the connection table so the steady-state accept path does
-	// not rehash/regrow: bounded by the pool cap when one is configured.
+	// not rehash/regrow: from the cell's planned per-worker connection
+	// count when the driver provides one, bounded by the pool cap.
 	hint := 256
+	if h := lb.Cfg.ConnsPerWorkerHint; h > hint {
+		hint = h
+	}
 	if max := lb.Cfg.MaxConnsPerWorker; max > 0 && max < hint {
 		hint = max
 	}
@@ -110,6 +150,9 @@ func newWorker(lb *LB, id int, hook Hook) *Worker {
 		conns:    make([]*kernel.Socket, 0, hint),
 	}
 	w.onWakeFn = w.onWake
+	w.onWakeGateFn = func() { w.onWake(w.batchEvs) }
+	w.afterEventFn = w.afterEvent
+	w.endLoopFn = w.endLoopCont
 	if lb.Cfg.DetailedStats {
 		w.EventsPerWait = &stats.Sample{}
 		w.BatchProcNS = &stats.Sample{}
@@ -148,6 +191,10 @@ func (w *Worker) Epoll() *kernel.Epoll { return w.ep }
 
 // OpenConns returns the number of live connections owned by this worker.
 func (w *Worker) OpenConns() int { return len(w.conns) }
+
+// ConnTableCap returns the connection table's current capacity (pre-sizing
+// and regrowth checks).
+func (w *Worker) ConnTableCap() int { return cap(w.conns) }
 
 // SampleConn returns one of the worker's live connection sockets (nil if it
 // has none) — used by the prober to reach every worker through real
@@ -198,6 +245,11 @@ func (w *Worker) Crash(dropConns bool) {
 	}
 	w.bankSpin(now)
 	w.hangUntilNS = 0
+	// The dead process takes its loop continuation with it: cancel the one
+	// outstanding timer and drop any parked serve so a restarted incarnation
+	// cannot be driven by — or complete — its predecessor's work.
+	w.contTimer.Cancel()
+	w.serv = servState{}
 	w.ep.Close()
 	if m := w.lb.mutex; m != nil && m.holder == w {
 		w.releaseMutex()
@@ -405,7 +457,11 @@ func (w *Worker) loopEnter() {
 func (w *Worker) onWake(evs []kernel.Event) {
 	// A hung worker has fetched the batch but spins before touching it: the
 	// events (and any queued connections behind them) stall until release.
-	if w.crashed || w.gate(func() { w.onWake(evs) }) {
+	// The batch is parked on the worker so the gate continuation needs no
+	// per-wake closure; the buffer is the epoll's scratch, stable until this
+	// worker's next Wait.
+	w.batchEvs = evs
+	if w.crashed || w.gate(w.onWakeGateFn) {
 		return
 	}
 	now := w.lb.Eng.Now()
@@ -421,71 +477,93 @@ func (w *Worker) onWake(evs []kernel.Event) {
 		// Thundering-herd loser: charge the wasted wakeup.
 		w.busy(w.lb.Cfg.Costs.SpuriousWake)
 	}
-	w.processBatch(evs, 0)
+	w.batchIdx = 0
+	w.processBatch()
 }
 
-func (w *Worker) processBatch(evs []kernel.Event, i int) {
+func (w *Worker) processBatch() {
 	if w.crashed {
 		return
 	}
-	if i >= len(evs) {
+	if w.batchIdx >= len(w.batchEvs) {
 		w.endLoop()
 		return
 	}
-	cost, done := w.handle(evs[i])
+	cost := w.handle(w.batchEvs[w.batchIdx])
 	cost = w.scaleCost(cost)
 	w.beginWork(cost)
-	gen := w.gen
-	w.lb.Eng.After(cost, func() { w.afterEvent(evs, i, gen, done) })
+	w.contGen = w.gen
+	w.contTimer = w.lb.Eng.After(cost, w.afterEventFn)
 }
 
-// afterEvent finishes event i once its CPU charge has elapsed (and any
-// injected hang has released), then continues the batch.
-func (w *Worker) afterEvent(evs []kernel.Event, i int, gen uint64, done func()) {
-	if w.crashed || w.gen != gen {
+// afterEvent finishes the event at the batch cursor once its CPU charge has
+// elapsed (and any injected hang has released), then continues the batch.
+func (w *Worker) afterEvent() {
+	if w.crashed || w.gen != w.contGen {
 		return
 	}
-	if w.gate(func() { w.afterEvent(evs, i, gen, done) }) {
+	if w.gate(w.afterEventFn) {
 		return
 	}
 	w.endWork()
 	w.hook.EventHandled()
-	if done != nil {
-		done()
+	if w.serv.active {
+		w.finishServe()
 	}
-	if w.lb.Cfg.EdgeTriggered && evs[i].Kind == kernel.EvReadable &&
-		!evs[i].Sock.Closed() && evs[i].Sock.PendingData() > 0 {
+	ev := w.batchEvs[w.batchIdx]
+	if w.lb.Cfg.EdgeTriggered && ev.Kind == kernel.EvReadable &&
+		!ev.Sock.Closed() && ev.Sock.PendingData() > 0 {
 		if p := w.lb.Cfg.Shed; p.Enabled && p.PendingThreshold > 0 &&
-			evs[i].Sock.PendingData() > p.PendingThreshold {
+			ev.Sock.PendingData() > p.PendingThreshold {
 			// Proactive degradation (Appendix C): RST the runaway
 			// connection instead of staying trapped in its drain.
 			w.ResetConns++
 			w.lb.ConnsReset++
-			w.resetConn(evs[i].Sock)
+			w.resetConn(ev.Sock)
 			w.busy(w.lb.Cfg.Costs.Close)
-			w.processBatch(evs, i+1)
+			w.batchIdx++
+			w.processBatch()
 			return
 		}
 		// Edge-triggered drain obligation: keep consuming this socket
 		// before touching the rest of the loop — the trap of Appendix C
 		// when data arrives faster than it is processed.
 		w.hook.EventsFetched(1)
-		w.processBatch(evs, i)
+		w.processBatch()
 		return
 	}
-	w.processBatch(evs, i+1)
+	w.batchIdx++
+	w.processBatch()
 }
 
-// handle applies an event's immediate effects and returns its CPU cost plus
-// an optional completion action that runs when the cost has elapsed.
-func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
+// finishServe completes the in-flight EvReadable serve parked by handle:
+// upstream release, completion accounting, and Connection: close teardown.
+func (w *Worker) finishServe() {
+	s := w.serv
+	w.serv = servState{}
+	if s.forwarded && w.lb.Cfg.Upstream != nil {
+		w.lb.Cfg.Upstream.Release(w.ID, s.backendID)
+	}
+	w.Completed++
+	w.telServed.Inc()
+	w.tr.Serve(uint64(s.connRef.ID()), s.work.ArrivalNS, s.serveStart, w.lb.Eng.Now(), s.work.Probe)
+	w.lb.recordCompletion(w, s.connRef, s.work)
+	if s.work.Close && s.connRef.Get() != nil {
+		w.closeConn(s.sock)
+	}
+}
+
+// handle applies an event's immediate effects and returns its CPU cost. An
+// EvReadable serve parks its completion state in w.serv; afterEvent runs
+// finishServe when the cost has elapsed.
+func (w *Worker) handle(ev kernel.Event) time.Duration {
 	costs := w.lb.Cfg.Costs
 	switch ev.Kind {
 	case kernel.EvAccept:
 		conn, ok := ev.Sock.Accept()
 		if !ok {
 			// Raced by another worker (herd / shared-socket modes).
-			return costs.SpuriousWake, nil
+			return costs.SpuriousWake
 		}
 		w.Accepted++
 		w.telAccepted.Inc()
@@ -500,22 +578,22 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 			w.lb.NS.CloseSocket(sock)
 			w.tr.Close(uint64(ref.ID()), w.lb.Eng.Now(), true)
 			w.lb.notifyReset(ref)
-			return costs.Close, nil
+			return costs.Close
 		}
 		w.addConn(conn.Sock())
 		w.hook.ConnOpened()
 		// Accept cost includes the dispatch overhead: O(#registered ports)
 		// for shared-socket modes, O(#owned ports) for reuseport/Hermes
 		// (§6.2 Case 1).
-		return costs.Accept + w.lb.acceptExtra, nil
+		return costs.Accept + w.lb.acceptExtra
 	case kernel.EvReadable:
 		payload, ok := ev.Sock.PopData()
 		if !ok {
-			return costs.SpuriousWake, nil
+			return costs.SpuriousWake
 		}
 		work := payload.(Work)
 		sock := ev.Sock
-		// The completion below fires after the cost elapses; by then the
+		// The completion fires after the cost elapses; by then the
 		// connection may have been reset (crash, shed) and its socket
 		// recycled into a different connection, so capture a checked ref
 		// now rather than re-reading sock.Conn() later.
@@ -534,23 +612,21 @@ func (w *Worker) handle(ev kernel.Event) (time.Duration, func()) {
 				cost += costs.UpstreamHandshake
 			}
 		}
-		return cost, func() {
-			if forwarded && w.lb.Cfg.Upstream != nil {
-				w.lb.Cfg.Upstream.Release(w.ID, backendID)
-			}
-			w.Completed++
-			w.telServed.Inc()
-			w.tr.Serve(uint64(connRef.ID()), work.ArrivalNS, serveStart, w.lb.Eng.Now(), work.Probe)
-			w.lb.recordCompletion(w, connRef, work)
-			if work.Close && connRef.Get() != nil {
-				w.closeConn(sock)
-			}
+		w.serv = servState{
+			active:     true,
+			sock:       sock,
+			connRef:    connRef,
+			work:       work,
+			serveStart: serveStart,
+			backendID:  backendID,
+			forwarded:  forwarded,
 		}
+		return cost
 	case kernel.EvHangup:
 		w.closeConn(ev.Sock)
-		return costs.Close, nil
+		return costs.Close
 	default:
-		return 0, nil
+		return 0
 	}
 }
 
@@ -577,14 +653,18 @@ func (w *Worker) endLoop() {
 		tail += w.lb.Cfg.Costs.MutexOp
 	}
 	w.beginWork(tail)
-	gen := w.gen
-	w.lb.Eng.After(tail, func() {
-		if w.crashed || w.gen != gen {
-			return
-		}
-		w.endWork()
-		w.loopEnter()
-	})
+	w.contGen = w.gen
+	w.contTimer = w.lb.Eng.After(tail, w.endLoopFn)
+}
+
+// endLoopCont is the loop tail's pre-bound continuation: bank the tail cost
+// and re-enter the loop.
+func (w *Worker) endLoopCont() {
+	if w.crashed || w.gen != w.contGen {
+		return
+	}
+	w.endWork()
+	w.loopEnter()
 }
 
 func (w *Worker) addConn(s *kernel.Socket) {
@@ -594,6 +674,9 @@ func (w *Worker) addConn(s *kernel.Socket) {
 		w.ep.Add(s)
 	}
 	s.SetOwner(int32(w.ID), int32(len(w.conns)))
+	if len(w.conns) == cap(w.conns) {
+		w.ConnTableGrows++
+	}
 	w.conns = append(w.conns, s)
 }
 

@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMarshalIntoCapacityZeroAlloc pins the slice-extension fix: every
+// marshal into a buffer with sufficient capacity must not allocate. The old
+// append(dst, make([]byte, n)...) idiom allocated the temporary even when
+// cap(dst) sufficed.
+func TestMarshalIntoCapacityZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, DefaultFrameSize)
+	payload := bytes.Repeat([]byte{0xab}, 200)
+	seg := TCPSegment(3, 4, TCP{SrcPort: 1, DstPort: 2, Flags: FlagPSH}, payload)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ipv4", func() { buf = IPv4{TTL: 64, Protocol: ProtoTCP, SrcIP: 1, DstIP: 2, TotalLen: 40}.Marshal(buf[:0]) }},
+		{"tcp", func() { buf = TCP{SrcPort: 1, DstPort: 2, Flags: FlagSYN}.Marshal(buf[:0]) }},
+		{"udp", func() { buf = UDP{SrcPort: 1, DstPort: 2, Length: 8}.Marshal(buf[:0]) }},
+		{"vxlan", func() { buf = VXLAN{VNI: 7}.Marshal(buf[:0]) }},
+		{"tcp-segment", func() { buf = AppendTCPSegment(buf[:0], 3, 4, TCP{SrcPort: 1, DstPort: 2}, payload) }},
+		{"encap-vxlan", func() { buf = AppendEncapVXLAN(buf[:0], 1, 2, 7, seg) }},
+		{"encap-tcp-frame", func() {
+			buf = AppendEncapTCPFrame(buf[:0], 1, 2, 7, 3, 4, TCP{SrcPort: 1, DstPort: 2, Flags: FlagPSH}, payload)
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op into a capped buffer, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestAppendEncapTCPFrameMatchesTwoPass pins the one-pass frame builder
+// against the two-pass original (TCPSegment then EncapVXLAN) byte-for-byte.
+func TestAppendEncapTCPFrameMatchesTwoPass(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5c}, 137)
+	tcp := TCP{SrcPort: 1234, DstPort: 443, Seq: 99, Ack: 7, Flags: FlagPSH | FlagACK, Window: 4096}
+	want := EncapVXLAN(10, 20, 0xabcdef, TCPSegment(30, 40, tcp, payload))
+	got := AppendEncapTCPFrame(nil, 10, 20, 0xabcdef, 30, 40, tcp, payload)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("one-pass frame differs from two-pass:\n got %x\nwant %x", got, want)
+	}
+	// And it must still decap + parse cleanly.
+	vni, inner, err := DecapVXLAN(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vni != 0xabcdef {
+		t.Fatalf("vni = %#x, want 0xabcdef", vni)
+	}
+	ip, tp, data, err := ParseTCPSegment(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.SrcIP != 30 || ip.DstIP != 40 || tp != tcp || !bytes.Equal(data, payload) {
+		t.Fatal("round-trip mismatch through one-pass frame")
+	}
+}
+
+// TestFramePool covers the free-list lifecycle: warm Get/Put cycles must
+// recycle (no misses), stay allocation-free, and reject foreign undersized
+// buffers.
+func TestFramePool(t *testing.T) {
+	p := NewFramePool(512, 4)
+	if p.FrameSize() != 512 || p.Len() != 4 {
+		t.Fatalf("pool size/len = %d/%d, want 512/4", p.FrameSize(), p.Len())
+	}
+	b := p.Get()
+	if len(b) != 0 || cap(b) < 512 {
+		t.Fatalf("Get returned len=%d cap=%d, want 0/≥512", len(b), cap(b))
+	}
+	if p.Misses != 0 {
+		t.Fatalf("prealloc Get missed")
+	}
+	p.Put(b)
+	if p.Len() != 4 {
+		t.Fatalf("Put did not recycle: len=%d", p.Len())
+	}
+	p.Put(make([]byte, 0, 64)) // undersized: dropped
+	if p.Len() != 4 {
+		t.Fatal("undersized buffer entered the pool")
+	}
+
+	cycle := func() {
+		f := p.Get()
+		f = append(f, 1, 2, 3)
+		p.Put(f)
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("warm Get/Put cycle allocates %v/op, want 0", allocs)
+	}
+	if p.Misses != 0 {
+		t.Fatalf("warm cycles missed %d times", p.Misses)
+	}
+
+	empty := NewFramePool(0, 0)
+	if empty.FrameSize() != DefaultFrameSize {
+		t.Fatalf("default frame size = %d", empty.FrameSize())
+	}
+	_ = empty.Get()
+	if empty.Misses != 1 {
+		t.Fatalf("empty pool Get should miss, got %d", empty.Misses)
+	}
+}
+
+// BenchmarkFramePool is the mempool CI gate: a steady-state frame build —
+// Get, one-pass encap marshal, consume, Put — must be 0 allocs/op.
+func BenchmarkFramePool(b *testing.B) {
+	p := NewFramePool(DefaultFrameSize, 1)
+	payload := bytes.Repeat([]byte{0xab}, 200)
+	tcp := TCP{SrcPort: 1234, DstPort: 443, Flags: FlagPSH}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := p.Get()
+		f = AppendEncapTCPFrame(f, 1, 2, 7, 3, 4, tcp, payload)
+		p.Put(f)
+	}
+	b.StopTimer()
+	if p.Misses > 1 {
+		b.Fatalf("pooled frame build missed %d times", p.Misses)
+	}
+}
+
+// BenchmarkFrameBuildAlloc is the pre-mempool baseline for docs/PERF.md:
+// the same frame built with the allocating two-pass API.
+func BenchmarkFrameBuildAlloc(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xab}, 200)
+	tcp := TCP{SrcPort: 1234, DstPort: 443, Flags: FlagPSH}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncapVXLAN(1, 2, 7, TCPSegment(3, 4, tcp, payload))
+	}
+}

@@ -53,10 +53,23 @@ const (
 	ProtoUDP = 17
 )
 
+// extend grows dst by n zeroed bytes. Unlike append(dst, make([]byte, n)...),
+// it reuses existing capacity instead of allocating a temporary — the marshal
+// hot path is allocation-free whenever the caller provisions the buffer
+// (FramePool frames, or any adequately-capped scratch).
+func extend(dst []byte, n int) []byte {
+	if l := len(dst); l+n <= cap(dst) {
+		dst = dst[:l+n]
+		clear(dst[l:])
+		return dst
+	}
+	return append(dst, make([]byte, n)...)
+}
+
 // Marshal appends the header to dst with a correct checksum.
 func (h IPv4) Marshal(dst []byte) []byte {
 	off := len(dst)
-	dst = append(dst, make([]byte, IPv4HeaderLen)...)
+	dst = extend(dst, IPv4HeaderLen)
 	b := dst[off:]
 	b[0] = 0x45 // version 4, IHL 5
 	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
@@ -110,7 +123,7 @@ type TCP struct {
 // and real NICs offload the TCP checksum anyway.
 func (t TCP) Marshal(dst []byte) []byte {
 	off := len(dst)
-	dst = append(dst, make([]byte, TCPHeaderLen)...)
+	dst = extend(dst, TCPHeaderLen)
 	b := dst[off:]
 	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], t.DstPort)
@@ -151,7 +164,7 @@ type UDP struct {
 // Marshal appends the header to dst (checksum 0 = unused, legal for IPv4).
 func (u UDP) Marshal(dst []byte) []byte {
 	off := len(dst)
-	dst = append(dst, make([]byte, UDPHeaderLen)...)
+	dst = extend(dst, UDPHeaderLen)
 	b := dst[off:]
 	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], u.DstPort)
@@ -184,7 +197,7 @@ type VXLAN struct {
 // Marshal appends the header to dst.
 func (v VXLAN) Marshal(dst []byte) []byte {
 	off := len(dst)
-	dst = append(dst, make([]byte, VXLANHeaderLen)...)
+	dst = extend(dst, VXLANHeaderLen)
 	b := dst[off:]
 	b[0] = 0x08 // I flag: VNI valid
 	b[4] = byte(v.VNI >> 16)
@@ -224,17 +237,42 @@ func Checksum(b []byte) uint16 {
 // EncapVXLAN builds the full gateway-side frame: outer IPv4+UDP+VXLAN
 // around an inner IPv4+TCP segment (Fig. 1's encapsulated tenant traffic).
 func EncapVXLAN(outerSrc, outerDst uint32, vni uint32, inner []byte) []byte {
+	totalLen := IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen + len(inner)
+	return AppendEncapVXLAN(make([]byte, 0, totalLen), outerSrc, outerDst, vni, inner)
+}
+
+// AppendEncapVXLAN is EncapVXLAN into a caller-provided buffer: with
+// sufficient capacity (a FramePool frame) it does not allocate.
+func AppendEncapVXLAN(dst []byte, outerSrc, outerDst uint32, vni uint32, inner []byte) []byte {
 	udpLen := UDPHeaderLen + VXLANHeaderLen + len(inner)
 	totalLen := IPv4HeaderLen + udpLen
-	out := make([]byte, 0, totalLen)
-	out = IPv4{
+	dst = IPv4{
 		TTL: 64, Protocol: ProtoUDP,
 		SrcIP: outerSrc, DstIP: outerDst,
 		TotalLen: uint16(totalLen),
-	}.Marshal(out)
-	out = UDP{SrcPort: 49152, DstPort: VXLANPort, Length: uint16(udpLen)}.Marshal(out)
-	out = VXLAN{VNI: vni}.Marshal(out)
-	return append(out, inner...)
+	}.Marshal(dst)
+	dst = UDP{SrcPort: 49152, DstPort: VXLANPort, Length: uint16(udpLen)}.Marshal(dst)
+	dst = VXLAN{VNI: vni}.Marshal(dst)
+	return append(dst, inner...)
+}
+
+// AppendEncapTCPFrame builds the complete gateway frame — outer
+// IPv4+UDP+VXLAN directly around an inner IPv4+TCP segment — in one pass
+// into dst, skipping the intermediate inner-segment buffer EncapVXLAN over
+// TCPSegment would need. The cluster client's steady-state frame build is
+// allocation-free with a pooled dst.
+func AppendEncapTCPFrame(dst []byte, outerSrc, outerDst, vni, srcIP, dstIP uint32, t TCP, payload []byte) []byte {
+	innerLen := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	udpLen := UDPHeaderLen + VXLANHeaderLen + innerLen
+	totalLen := IPv4HeaderLen + udpLen
+	dst = IPv4{
+		TTL: 64, Protocol: ProtoUDP,
+		SrcIP: outerSrc, DstIP: outerDst,
+		TotalLen: uint16(totalLen),
+	}.Marshal(dst)
+	dst = UDP{SrcPort: 49152, DstPort: VXLANPort, Length: uint16(udpLen)}.Marshal(dst)
+	dst = VXLAN{VNI: vni}.Marshal(dst)
+	return AppendTCPSegment(dst, srcIP, dstIP, t, payload)
 }
 
 // DecapVXLAN unwraps a gateway frame, returning the VNI and inner packet.
@@ -263,14 +301,20 @@ func DecapVXLAN(frame []byte) (vni uint32, inner []byte, err error) {
 // TCPSegment builds an inner IPv4+TCP packet.
 func TCPSegment(srcIP, dstIP uint32, t TCP, payload []byte) []byte {
 	totalLen := IPv4HeaderLen + TCPHeaderLen + len(payload)
-	out := make([]byte, 0, totalLen)
-	out = IPv4{
+	return AppendTCPSegment(make([]byte, 0, totalLen), srcIP, dstIP, t, payload)
+}
+
+// AppendTCPSegment is TCPSegment into a caller-provided buffer: with
+// sufficient capacity it does not allocate.
+func AppendTCPSegment(dst []byte, srcIP, dstIP uint32, t TCP, payload []byte) []byte {
+	totalLen := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	dst = IPv4{
 		TTL: 64, Protocol: ProtoTCP,
 		SrcIP: srcIP, DstIP: dstIP,
 		TotalLen: uint16(totalLen),
-	}.Marshal(out)
-	out = t.Marshal(out)
-	return append(out, payload...)
+	}.Marshal(dst)
+	dst = t.Marshal(dst)
+	return append(dst, payload...)
 }
 
 // ParseTCPSegment parses an inner IPv4+TCP packet.

@@ -31,6 +31,34 @@ type Generator struct {
 	// PortConns / PortRequests break arrivals down by tenant port.
 	PortConns    map[uint16]uint64
 	PortRequests map[uint16]uint64
+
+	// Free lists for the arrival-chain and request-train state objects.
+	// Each carries its own pre-bound timer callback, so the open-loop
+	// steady state — one timer per arrival, one per request — schedules no
+	// closures: allocation is bounded by peak concurrency, not event count.
+	chainFree []*connChain
+	trainFree []*reqTrain
+}
+
+// connChain is one Run/RunWindow arrival chain: exactly one timer is
+// outstanding per chain, so the object (and its pre-bound fire) is recycled
+// when the chain passes its window end.
+type connChain struct {
+	g    *Generator
+	next int64
+	end  int64
+	fire func()
+}
+
+// reqTrain is one connection's request train: exactly one timer outstanding
+// per live train, recycled when the train finishes or its connection dies.
+type reqTrain struct {
+	g     *Generator
+	ref   kernel.ConnRef
+	port  uint16
+	total int
+	idx   int
+	fire  func()
 }
 
 // NewGenerator builds a generator for the spec. The generator derives its
@@ -64,15 +92,37 @@ func (g *Generator) RunWindow(start, end time.Duration) {
 }
 
 func (g *Generator) scheduleNextConn(prev, end int64) {
+	var ch *connChain
+	if n := len(g.chainFree); n > 0 {
+		ch = g.chainFree[n-1]
+		g.chainFree[n-1] = nil
+		g.chainFree = g.chainFree[:n-1]
+	} else {
+		ch = &connChain{g: g}
+		ch.fire = ch.run
+	}
+	ch.end = end
+	ch.advance(prev)
+}
+
+// advance draws the next Poisson gap and schedules the chain's single timer,
+// retiring the chain once it crosses the window end.
+func (ch *connChain) advance(prev int64) {
+	g := ch.g
 	gap := int64(g.rng.ExpFloat64() * float64(time.Second) / g.spec.ConnRate)
 	next := prev + gap
-	if next >= end {
+	if next >= ch.end {
+		ch.end = 0
+		g.chainFree = append(g.chainFree, ch)
 		return
 	}
-	g.lb.Eng.At(next, func() {
-		g.openConn()
-		g.scheduleNextConn(next, end)
-	})
+	ch.next = next
+	g.lb.Eng.At(next, ch.fire)
+}
+
+func (ch *connChain) run() {
+	ch.g.openConn()
+	ch.advance(ch.next)
 }
 
 func (g *Generator) pickPort() uint16 {
@@ -105,38 +155,61 @@ func (g *Generator) openConn() {
 		reqs = 1
 	}
 	delay := int64(g.spec.FirstReqDelayNS.Sample(g.rng))
-	g.scheduleRequest(conn.Ref(), port, reqs, 1, g.lb.Eng.Now()+delay)
+
+	var t *reqTrain
+	if n := len(g.trainFree); n > 0 {
+		t = g.trainFree[n-1]
+		g.trainFree[n-1] = nil
+		g.trainFree = g.trainFree[:n-1]
+	} else {
+		t = &reqTrain{g: g}
+		t.fire = t.run
+	}
+	// The train holds a checked ref, not a bare *Conn: the connection may be
+	// reset — and its pooled object recycled into a different connection —
+	// before the timer fires.
+	t.ref, t.port, t.total, t.idx = conn.Ref(), port, reqs, 1
+	t.schedule(g.lb.Eng.Now() + delay)
 }
 
-// scheduleRequest holds a checked ref, not a bare *Conn: the connection may
-// be reset — and its pooled object recycled into a different connection —
-// before the timer fires.
-func (g *Generator) scheduleRequest(ref kernel.ConnRef, port uint16, total, idx int, at int64) {
-	if at < g.lb.Eng.Now() {
-		at = g.lb.Eng.Now()
+func (t *reqTrain) schedule(at int64) {
+	if now := t.g.lb.Eng.Now(); at < now {
+		at = now
 	}
-	g.lb.Eng.At(at, func() {
-		conn := ref.Get()
-		if conn == nil || conn.Sock().Closed() {
-			g.LiveConns--
-			return
-		}
-		last := idx == total
-		g.RequestsSent++
-		g.PortRequests[port]++
-		g.lb.NS.DeliverData(conn, l7lb.Work{
-			ArrivalNS: g.lb.Eng.Now(),
-			Cost:      time.Duration(g.spec.CostNS.Sample(g.rng)),
-			Size:      int(g.spec.SizeBytes.Sample(g.rng)),
-			RespSize:  int(g.spec.RespBytes.Sample(g.rng)),
-			Close:     last,
-			Tenant:    port,
-		})
-		if last {
-			g.LiveConns--
-			return
-		}
-		gap := int64(g.spec.InterReqNS.Sample(g.rng))
-		g.scheduleRequest(ref, port, total, idx+1, g.lb.Eng.Now()+gap)
+	t.g.lb.Eng.At(at, t.fire)
+}
+
+// retire recycles a finished train (last request sent, or connection dead).
+func (t *reqTrain) retire() {
+	g := t.g
+	g.LiveConns--
+	t.ref = kernel.ConnRef{}
+	g.trainFree = append(g.trainFree, t)
+}
+
+func (t *reqTrain) run() {
+	g := t.g
+	conn := t.ref.Get()
+	if conn == nil || conn.Sock().Closed() {
+		t.retire()
+		return
+	}
+	last := t.idx == t.total
+	g.RequestsSent++
+	g.PortRequests[t.port]++
+	g.lb.NS.DeliverData(conn, l7lb.Work{
+		ArrivalNS: g.lb.Eng.Now(),
+		Cost:      time.Duration(g.spec.CostNS.Sample(g.rng)),
+		Size:      int(g.spec.SizeBytes.Sample(g.rng)),
+		RespSize:  int(g.spec.RespBytes.Sample(g.rng)),
+		Close:     last,
+		Tenant:    t.port,
 	})
+	if last {
+		t.retire()
+		return
+	}
+	gap := int64(g.spec.InterReqNS.Sample(g.rng))
+	t.idx++
+	t.schedule(g.lb.Eng.Now() + gap)
 }
